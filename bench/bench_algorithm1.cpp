@@ -1,0 +1,122 @@
+// E7 — Algorithm 1: correctness sweep, order-fairness report, and
+// google-benchmark scaling in N, k and |C|.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "mrca.h"
+
+namespace {
+
+using namespace mrca;
+
+void correctness_and_order_report() {
+  std::cout << "==============================================================\n"
+            << " E7: Algorithm 1 — correctness sweep and order fairness\n"
+            << "==============================================================\n\n";
+
+  // Correctness: every (N, C, k) cell yields a verified NE.
+  Table sweep({"N", "C", "k", "loads balanced", "NE", "welfare=opt (const R)"});
+  for (const std::size_t users : {2u, 5u, 10u, 25u}) {
+    for (const std::size_t channels : {3u, 8u, 12u}) {
+      for (const RadioCount radios : {1, 3, 8}) {
+        if (static_cast<std::size_t>(radios) > channels) continue;
+        const Game game(GameConfig(users, channels, radios),
+                        std::make_shared<ConstantRate>(1.0));
+        const StrategyMatrix ne = sequential_allocation(game);
+        sweep.add_row(
+            {Table::fmt(users), Table::fmt(channels), Table::fmt(radios),
+             (ne.max_load() - ne.min_load() <= 1) ? "yes" : "NO",
+             is_nash_equilibrium(game, ne) ? "yes" : "NO",
+             (std::abs(game.welfare(ne) - game.optimal_welfare()) < 1e-9)
+                 ? "yes"
+                 : "NO"});
+      }
+    }
+  }
+  sweep.print(std::cout);
+
+  // Order (dis)advantage: does allocating first pay? Under constant R all
+  // users end symmetric; under decreasing R early users keep a small edge.
+  std::cout << "\nFirst-mover advantage (N=6, C=4, k=2, 200 random orders):\n";
+  Table order_table({"rate function", "mean U(first)", "mean U(last)",
+                     "first/last"});
+  for (const auto& [label, rate] :
+       std::vector<std::pair<std::string, std::shared_ptr<const RateFunction>>>{
+           {"constant", std::make_shared<ConstantRate>(1.0)},
+           {"R(k)=1/k", std::make_shared<PowerLawRate>(1.0, 1.0)}}) {
+    const Game game(GameConfig(6, 4, 2), rate);
+    Rng rng(321);
+    RunningStats first_user;
+    RunningStats last_user;
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<UserId> order = {0, 1, 2, 3, 4, 5};
+      rng.shuffle(order);
+      SequentialOptions options;
+      options.user_order = order;
+      options.tie_break = TieBreak::kRandom;
+      const StrategyMatrix ne = sequential_allocation(game, options, &rng);
+      first_user.add(game.utility(ne, order.front()));
+      last_user.add(game.utility(ne, order.back()));
+    }
+    order_table.add_row({label, Table::fmt(first_user.mean(), 4),
+                         Table::fmt(last_user.mean(), 4),
+                         Table::fmt(first_user.mean() / last_user.mean(), 4)});
+  }
+  order_table.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_Algorithm1_Users(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const Game game(GameConfig(users, 12, 4),
+                  std::make_shared<ConstantRate>(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sequential_allocation(game));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_Users)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_Algorithm1_Channels(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  const Game game(GameConfig(32, channels, 4),
+                  std::make_shared<ConstantRate>(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sequential_allocation(game));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1_Channels)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_NashCheck(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const Game game(GameConfig(users, 12, 4),
+                  std::make_shared<ConstantRate>(1.0));
+  const StrategyMatrix ne = sequential_allocation(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_nash_equilibrium(game, ne));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NashCheck)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+void BM_SingleMoveStability(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const Game game(GameConfig(users, 12, 4),
+                  std::make_shared<ConstantRate>(1.0));
+  const StrategyMatrix ne = sequential_allocation(game);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_single_move_stable(game, ne));
+  }
+}
+BENCHMARK(BM_SingleMoveStability)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  correctness_and_order_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E6 — efficiency of selfish allocation (Theorem 2 and beyond).
+//
+// The paper proves NE = Pareto-optimal and system-optimal under constant R.
+// This bench regenerates that claim and quantifies what the paper's Section
+// 2 anticipates but does not evaluate: with practical CSMA/CA (decreasing
+// R) the load-balancing equilibrium is no longer system-optimal. Since all
+// NE share the balanced load profile, the price of anarchy has a closed
+// form, checked here against Algorithm 1's actual equilibria.
+#include <iostream>
+
+#include "mrca.h"
+
+int main() {
+  using namespace mrca;
+
+  std::cout << "==============================================================\n"
+            << " E6: NE welfare, price of anarchy, fairness\n"
+            << "==============================================================\n\n";
+
+  const BianchiDcfModel bianchi(DcfParameters::bianchi_fhss());
+
+  struct RateCase {
+    std::string label;
+    std::shared_ptr<const RateFunction> rate;
+  };
+  const std::vector<RateCase> rates = {
+      {"TDMA (constant)", std::make_shared<ConstantRate>(1.0)},
+      {"optimal CSMA/CA (Bianchi)", bianchi.make_optimal_rate(64)},
+      {"practical CSMA/CA (Bianchi)", bianchi.make_practical_rate(64)},
+      {"R(k)=1/k (harsh)", std::make_shared<PowerLawRate>(1.0, 1.0)},
+  };
+
+  std::cout << "Sweep over users N (k=2 radios, C=6 channels):\n\n";
+  Table table({"rate function", "N", "NE welfare", "optimum", "PoA",
+               "NE fairness", "NE verified"});
+  for (const auto& rate_case : rates) {
+    for (const std::size_t users : {3u, 4u, 6u, 9u, 12u, 18u}) {
+      const GameConfig config(users, 6, 2);
+      const Game game(config, rate_case.rate);
+      const StrategyMatrix ne = sequential_allocation(game);
+      table.add_row({rate_case.label, Table::fmt(users),
+                     Table::fmt(nash_welfare(game), 4),
+                     Table::fmt(game.optimal_welfare(), 4),
+                     Table::fmt(price_of_anarchy(game), 4),
+                     Table::fmt(utility_fairness(game, ne), 4),
+                     is_nash_equilibrium(game, ne) ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading:\n"
+            << "  - constant/optimal-backoff rates: PoA = 1 (Theorem 2's\n"
+            << "    system-optimality) at every size;\n"
+            << "  - practical CSMA/CA: PoA grows with contention — selfish\n"
+            << "    load balancing keeps every channel maximally contended;\n"
+            << "  - fairness stays ~1: equilibria are symmetric across users.\n\n";
+
+  std::cout << "Pareto audit at enumerable scale (N=3, C=2..3, k=2):\n";
+  Table pareto_table({"rate function", "game", "#NE", "Pareto-optimal",
+                      "system-optimal"});
+  for (const auto& rate_case : rates) {
+    for (const auto& [n, c, k] :
+         {std::tuple<std::size_t, std::size_t, RadioCount>{3, 2, 2},
+          {3, 3, 2},
+          {2, 3, 3}}) {
+      const Game game(GameConfig(n, c, k), rate_case.rate);
+      const auto equilibria = enumerate_nash_equilibria(game);
+      std::size_t pareto = 0;
+      std::size_t system = 0;
+      for (const auto& ne : equilibria) {
+        if (is_pareto_optimal(game, ne)) ++pareto;
+        if (game.welfare(ne) >= game.optimal_welfare() - 1e-9) ++system;
+      }
+      pareto_table.add_row({rate_case.label, game.config().describe(),
+                            Table::fmt(equilibria.size()),
+                            Table::fmt(pareto), Table::fmt(system)});
+    }
+  }
+  pareto_table.print(std::cout);
+  std::cout << "\nUnder constant R every NE is Pareto- AND system-optimal\n"
+               "(Theorem 2); under decreasing R, system-optimality is lost\n"
+               "while the per-NE Pareto property is reported as measured.\n";
+  return 0;
+}

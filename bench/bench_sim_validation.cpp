@@ -1,0 +1,63 @@
+// E9 — validation of the paper's §2 modelling assumptions with the
+// discrete-event simulator:
+//   (1) DCF saturation throughput vs the Bianchi fixed-point prediction,
+//   (2) conditional collision probability vs prediction,
+//   (3) the equal-sharing assumption (per-radio fairness on one channel),
+//   (4) TDMA total-rate constancy in the number of stations.
+#include <iostream>
+
+#include "mrca.h"
+
+int main() {
+  using namespace mrca;
+
+  std::cout << "==============================================================\n"
+            << " E9: DES vs analytical MAC models\n"
+            << "==============================================================\n\n";
+
+  const DcfParameters params = DcfParameters::bianchi_fhss();
+  const BianchiDcfModel model(params);
+  constexpr double kSeconds = 30.0;
+
+  std::cout << "802.11 DCF, saturated stations, " << kSeconds
+            << " s per point (1 Mbit/s FHSS, W=32, m=5):\n\n";
+  Table dcf_table({"n", "S model", "S sim", "err %", "p model", "p sim",
+                   "Jain (per-radio)"});
+  for (const int n : {1, 2, 3, 5, 8, 12, 20}) {
+    sim::DcfChannelSim channel(params, n, 42 + static_cast<std::uint64_t>(n));
+    channel.run(kSeconds);
+    const DcfModelResult predicted = model.saturation_throughput(n);
+    const double s_sim = channel.total_throughput_bps() / params.bitrate_bps;
+    const double err =
+        100.0 * (s_sim - predicted.throughput_fraction) /
+        predicted.throughput_fraction;
+    dcf_table.add_row(
+        {Table::fmt(n), Table::fmt(predicted.throughput_fraction, 4),
+         Table::fmt(s_sim, 4), Table::fmt(err, 2),
+         Table::fmt(predicted.collision_probability, 4),
+         Table::fmt(channel.collision_probability(), 4),
+         Table::fmt(jain_fairness(channel.per_station_throughput_bps()), 5)});
+  }
+  dcf_table.print(std::cout);
+  std::cout << "\n(1)(2): simulation tracks the fixed-point model within a few\n"
+               "percent across two decades of contention.\n"
+               "(3): Jain index ~= 1 — the fair-sharing assumption the paper\n"
+               "bases its utility function on holds per radio.\n\n";
+
+  std::cout << "Reservation TDMA (10 ms slots, 100 us guard):\n\n";
+  const TdmaParameters tdma_params;
+  const TdmaModel tdma(tdma_params);
+  Table tdma_table({"n", "R model [Mbit/s]", "R sim [Mbit/s]", "Jain"});
+  for (const int n : {1, 2, 4, 8, 16}) {
+    sim::TdmaChannelSim channel(tdma_params, n);
+    channel.run(kSeconds);
+    tdma_table.add_row(
+        {Table::fmt(n), Table::fmt(tdma.total_rate_bps(n) / 1e6, 4),
+         Table::fmt(channel.total_throughput_bps() / 1e6, 4),
+         Table::fmt(jain_fairness(channel.per_station_throughput_bps()), 5)});
+  }
+  tdma_table.print(std::cout);
+  std::cout << "\n(4): the TDMA total rate is constant in n — the R(k_c)\n"
+               "constancy that makes the paper's NE system-optimal.\n";
+  return 0;
+}

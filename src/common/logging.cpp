@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace mrca {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace mrca

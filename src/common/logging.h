@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The library itself never logs on hot paths; logging is for examples and
+// bench harnesses. Global level, stderr sink, zero dependencies.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mrca {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global log level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits a single log line (thread-unsafe by design: the simulator is
+/// single-threaded and benches log from the main thread only).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mrca
+
+#define MRCA_LOG(level)                 \
+  if (::mrca::log_level() > (level)) {  \
+  } else                                \
+    ::mrca::detail::LogLine(level)
+
+#define MRCA_LOG_DEBUG MRCA_LOG(::mrca::LogLevel::kDebug)
+#define MRCA_LOG_INFO MRCA_LOG(::mrca::LogLevel::kInfo)
+#define MRCA_LOG_WARN MRCA_LOG(::mrca::LogLevel::kWarn)
+#define MRCA_LOG_ERROR MRCA_LOG(::mrca::LogLevel::kError)

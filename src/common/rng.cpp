@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mrca {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) {
+    word = mixer.next();
+  }
+  // An all-zero state (possible only if SplitMix64 emitted four zeros, which
+  // it cannot from distinct increments, but keep the guard cheap and local).
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's unbiased multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi==lo => span 1
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // -log(1 - u) avoids log(0) since next_double() < 1.
+  return -std::log1p(-next_double()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  return static_cast<std::uint64_t>(std::log1p(-next_double()) /
+                                    std::log1p(-p));
+}
+
+Rng Rng::split() noexcept {
+  Rng child(next_u64());
+  return child;
+}
+
+}  // namespace mrca

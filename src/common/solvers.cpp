@@ -1,0 +1,112 @@
+#include "common/solvers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mrca {
+
+SolverResult bisect(const std::function<double(double)>& f, double lo,
+                    double hi, double tol, int max_iter) {
+  if (!(lo < hi)) throw std::invalid_argument("bisect: requires lo < hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  SolverResult result;
+  if (flo == 0.0) {
+    result = {lo, 0.0, 0, true};
+    return result;
+  }
+  if (fhi == 0.0) {
+    result = {hi, 0.0, 0, true};
+    return result;
+  }
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw std::invalid_argument("bisect: f(lo) and f(hi) must bracket a root");
+  }
+  double mid = lo;
+  double fmid = flo;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    mid = 0.5 * (lo + hi);
+    fmid = f(mid);
+    result.iterations = iter + 1;
+    if (std::abs(fmid) < tol || (hi - lo) < tol) {
+      result.root = mid;
+      result.residual = fmid;
+      result.converged = true;
+      return result;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.root = mid;
+  result.residual = fmid;
+  result.converged = false;
+  return result;
+}
+
+SolverResult fixed_point(const std::function<double(double)>& g, double x0,
+                         double damping, double tol, int max_iter) {
+  if (!(damping > 0.0 && damping <= 1.0)) {
+    throw std::invalid_argument("fixed_point: damping must be in (0,1]");
+  }
+  double x = x0;
+  SolverResult result;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double gx = g(x);
+    const double residual = gx - x;
+    result.iterations = iter + 1;
+    if (std::abs(residual) < tol) {
+      result.root = x;
+      result.residual = residual;
+      result.converged = true;
+      return result;
+    }
+    x = (1.0 - damping) * x + damping * gx;
+  }
+  result.root = x;
+  result.residual = g(x) - x;
+  result.converged = false;
+  return result;
+}
+
+SolverResult maximize_unimodal(const std::function<double(double)>& f,
+                               double lo, double hi, double tol,
+                               int max_iter) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("maximize_unimodal: requires lo < hi");
+  }
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  SolverResult result;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    result.iterations = iter + 1;
+    if ((b - a) < tol) break;
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  result.root = 0.5 * (a + b);
+  result.residual = 0.0;
+  result.converged = (b - a) < tol;
+  return result;
+}
+
+}  // namespace mrca

@@ -1,0 +1,37 @@
+// Scalar root-finding and fixed-point solvers.
+//
+// Used by the Bianchi DCF model (mac/bianchi.*), which needs the solution of
+// a one-dimensional fixed-point equation relating the per-station
+// transmission probability and the conditional collision probability.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace mrca {
+
+struct SolverResult {
+  double root = 0.0;
+  double residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be zero). Converges unconditionally for continuous f.
+SolverResult bisect(const std::function<double(double)>& f, double lo,
+                    double hi, double tol = 1e-12, int max_iter = 200);
+
+/// Damped fixed-point iteration x <- (1-damping)*x + damping*g(x).
+/// Stops when |g(x) - x| < tol.
+SolverResult fixed_point(const std::function<double(double)>& g, double x0,
+                         double damping = 1.0, double tol = 1e-12,
+                         int max_iter = 10000);
+
+/// Golden-section maximization of a unimodal function on [lo, hi].
+/// Returns the argmax (not the max value).
+SolverResult maximize_unimodal(const std::function<double(double)>& f,
+                               double lo, double hi, double tol = 1e-10,
+                               int max_iter = 500);
+
+}  // namespace mrca

@@ -1,0 +1,107 @@
+// Statistics primitives used by the simulator, benches and analysis code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mrca {
+
+/// Numerically stable running mean/variance (Welford's algorithm),
+/// plus min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the two-sided normal-approximation confidence interval
+  /// at the given confidence level (default 95%).
+  double ci_halfwidth(double confidence = 0.95) const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or channel busy fraction in the discrete-event simulator.
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(double start_time = 0.0) noexcept
+      : last_time_(start_time) {}
+
+  /// Records that the signal changed to `value` at time `now`.
+  /// The previous value is credited for [last_time, now).
+  void update(double now, double value) noexcept;
+
+  /// Mean over [start, now]; extends the last value to `now`.
+  double mean(double now) const noexcept;
+
+  double current() const noexcept { return value_; }
+
+ private:
+  double last_time_;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the edge bins and counted separately as underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Approximate quantile (linear interpolation inside the bin), q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). Returns 1.0 for an
+/// empty or all-zero input (vacuously fair).
+double jain_fairness(std::span<const double> values) noexcept;
+
+/// Sample mean of a span; 0 for empty input.
+double mean_of(std::span<const double> values) noexcept;
+
+/// Population standard deviation of a span; 0 for fewer than two samples.
+double stddev_of(std::span<const double> values) noexcept;
+
+/// Exact quantile of a copied, sorted span (nearest-rank with interpolation).
+double quantile_of(std::span<const double> values, double q);
+
+}  // namespace mrca

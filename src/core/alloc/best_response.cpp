@@ -1,0 +1,124 @@
+#include "core/alloc/best_response.h"
+
+#include <stdexcept>
+
+#include "core/analysis/deviation.h"
+
+namespace mrca {
+namespace {
+
+void apply_change(StrategyMatrix& strategies, const SingleChange& change) {
+  switch (change.kind) {
+    case SingleChange::Kind::kMove:
+      strategies.move_radio(change.user, change.from, change.to);
+      break;
+    case SingleChange::Kind::kDeploy:
+      strategies.add_radio(change.user, change.to);
+      break;
+    case SingleChange::Kind::kPark:
+      strategies.remove_radio(change.user, change.from);
+      break;
+  }
+}
+
+/// Applies the user's response; returns true if the allocation changed.
+bool activate(const Game& game, StrategyMatrix& strategies, UserId user,
+              const DynamicsOptions& options, Rng* rng) {
+  switch (options.granularity) {
+    case ResponseGranularity::kBestResponse: {
+      const double current = game.utility(strategies, user);
+      BestResponse response = best_response(game, strategies, user);
+      if (response.utility > current + options.tolerance) {
+        strategies.set_row(user, response.strategy);
+        return true;
+      }
+      return false;
+    }
+    case ResponseGranularity::kBestSingleMove: {
+      const auto change =
+          best_single_change(game, strategies, user, options.tolerance);
+      if (!change) return false;
+      apply_change(strategies, *change);
+      return true;
+    }
+    case ResponseGranularity::kRandomImprovingMove: {
+      const std::vector<SingleChange> improving =
+          improving_changes_for_user(game, strategies, user,
+                                     options.tolerance);
+      if (improving.empty()) return false;
+      apply_change(strategies, improving[rng->index(improving.size())]);
+      return true;
+    }
+  }
+  throw std::logic_error("run_response_dynamics: unknown granularity");
+}
+
+}  // namespace
+
+DynamicsResult run_response_dynamics(const Game& game,
+                                     const StrategyMatrix& start,
+                                     const DynamicsOptions& options,
+                                     Rng* rng) {
+  game.check_compatible(start);
+  if ((options.order == ActivationOrder::kUniformRandom ||
+       options.granularity == ResponseGranularity::kRandomImprovingMove) &&
+      rng == nullptr) {
+    throw std::invalid_argument(
+        "run_response_dynamics: this configuration requires an Rng");
+  }
+  const std::size_t users = game.config().num_users;
+  DynamicsResult result{false, 0, 0, start, {}};
+  StrategyMatrix& state = result.final_state;
+  if (options.record_welfare_trace) {
+    result.welfare_trace.push_back(game.welfare(state));
+  }
+
+  // A streak of `users` quiet activations triggers an exact verification
+  // pass over every user; convergence is declared only when that pass finds
+  // no improvement, so `converged` is a proof for both activation orders.
+  std::size_t quiet_streak = 0;
+  UserId next_user = 0;
+  while (result.activations < options.max_activations) {
+    const UserId user = options.order == ActivationOrder::kRoundRobin
+                            ? next_user
+                            : static_cast<UserId>(rng->index(users));
+    next_user = (next_user + 1) % users;
+    ++result.activations;
+    if (activate(game, state, user, options, rng)) {
+      ++result.improving_steps;
+      quiet_streak = 0;
+      if (options.record_welfare_trace) {
+        result.welfare_trace.push_back(game.welfare(state));
+      }
+      continue;
+    }
+    ++quiet_streak;
+    if (quiet_streak < users) continue;
+    if (options.order == ActivationOrder::kRoundRobin) {
+      // A full quiet round-robin pass is already an exact stability proof.
+      result.converged = true;
+      break;
+    }
+
+    bool any_improvement = false;
+    for (UserId verify = 0; verify < users; ++verify) {
+      ++result.activations;
+      if (activate(game, state, verify, options, rng)) {
+        any_improvement = true;
+        ++result.improving_steps;
+        if (options.record_welfare_trace) {
+          result.welfare_trace.push_back(game.welfare(state));
+        }
+        break;
+      }
+    }
+    if (!any_improvement) {
+      result.converged = true;
+      break;
+    }
+    quiet_streak = 0;
+  }
+  return result;
+}
+
+}  // namespace mrca

@@ -1,0 +1,61 @@
+// Better- / best-response dynamics: selfish users repeatedly deviating from
+// an arbitrary starting allocation.
+//
+// The paper reaches its NE with a centralized sequential algorithm and
+// leaves distributed play as future work; this engine studies what actually
+// happens when users keep deviating on their own. Two granularities:
+//   - kBestResponse: the user jumps to an exact best response (DP oracle);
+//   - kBestSingleMove: the user applies the best single-radio change
+//     (move/deploy/park) — the "local" dynamics the paper's lemmas analyze.
+// Convergence is declared when a full pass over all users finds no
+// improvement above tolerance.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+enum class ResponseGranularity {
+  /// Jump to the exact best response (DP oracle).
+  kBestResponse,
+  /// Apply the single-radio change with the largest benefit.
+  kBestSingleMove,
+  /// Apply a uniformly random strictly-improving single-radio change —
+  /// classic better-response play; the weakest (hence most demanding)
+  /// convergence test of the finite-improvement property. Requires an Rng.
+  kRandomImprovingMove,
+};
+enum class ActivationOrder { kRoundRobin, kUniformRandom };
+
+struct DynamicsOptions {
+  ResponseGranularity granularity = ResponseGranularity::kBestResponse;
+  ActivationOrder order = ActivationOrder::kRoundRobin;
+  /// Give up after this many user activations without convergence.
+  std::size_t max_activations = 100000;
+  double tolerance = kUtilityTolerance;
+  /// Record welfare after every improving step (for convergence plots).
+  bool record_welfare_trace = false;
+};
+
+struct DynamicsResult {
+  bool converged = false;
+  /// Total user activations performed (including non-improving ones).
+  std::size_t activations = 0;
+  /// Activations that changed the allocation.
+  std::size_t improving_steps = 0;
+  StrategyMatrix final_state;
+  std::vector<double> welfare_trace;
+};
+
+/// Runs the dynamics from `start` until stable or the activation budget is
+/// exhausted. `rng` is required for ActivationOrder::kUniformRandom.
+DynamicsResult run_response_dynamics(const Game& game,
+                                     const StrategyMatrix& start,
+                                     const DynamicsOptions& options = {},
+                                     Rng* rng = nullptr);
+
+}  // namespace mrca

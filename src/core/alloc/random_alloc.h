@@ -1,0 +1,23 @@
+// Random initial allocations, used as starting points for the dynamics
+// studies and as fuzz inputs in the property-based tests.
+#pragma once
+
+#include "common/rng.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+/// Every user places all k radios independently and uniformly at random
+/// over the channels (radios may stack arbitrarily).
+StrategyMatrix random_full_allocation(const Game& game, Rng& rng);
+
+/// Every user places a uniformly random number of radios in [0, k], each on
+/// a uniformly random channel (exercises parked-radio states like Fig. 1).
+StrategyMatrix random_partial_allocation(const Game& game, Rng& rng);
+
+/// Every user places all k radios on k distinct random channels (a random
+/// member of the "spread" strategy class of Theorem 1's main case).
+StrategyMatrix random_spread_allocation(const Game& game, Rng& rng);
+
+}  // namespace mrca

@@ -1,0 +1,107 @@
+#include "core/alloc/sequential.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrca {
+namespace {
+
+ChannelId pick(const std::vector<ChannelId>& candidates, TieBreak tie_break,
+               Rng* rng) {
+  if (candidates.empty()) {
+    throw std::logic_error("sequential allocator: no candidate channel");
+  }
+  switch (tie_break) {
+    case TieBreak::kLowestIndex:
+      return candidates.front();
+    case TieBreak::kRandom:
+      if (rng == nullptr) {
+        throw std::invalid_argument(
+            "sequential allocator: TieBreak::kRandom requires an Rng");
+      }
+      return candidates[rng->index(candidates.size())];
+  }
+  throw std::logic_error("sequential allocator: unknown tie break");
+}
+
+}  // namespace
+
+ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
+                          UserId user, TieBreak tie_break, Rng* rng) {
+  game.check_compatible(strategies);
+  const std::size_t channels = strategies.num_channels();
+  const RadioCount min_load = strategies.min_load();
+  const RadioCount max_load = strategies.max_load();
+
+  std::vector<ChannelId> candidates;
+  if (min_load == max_load) {
+    // Line 3-4: all loads equal -> use a channel where the user has no
+    // radio yet. (Such a channel always exists while the user is placing
+    // radio j <= k <= |C|, but guard anyway for incremental use.)
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (strategies.at(user, c) == 0) candidates.push_back(c);
+    }
+    if (candidates.empty()) {
+      // Degenerate incremental case: the user already covers every channel;
+      // fall back to the least-loaded rule.
+      for (ChannelId c = 0; c < channels; ++c) candidates.push_back(c);
+    }
+  } else {
+    // Line 5-6: use a channel with minimal load. Among tied minima, prefer
+    // channels the user does not occupy yet (keeps the outcome inside
+    // Theorem 1's k_{i,c} <= 1 regime whenever possible).
+    std::vector<ChannelId> unused_minima;
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (strategies.channel_load(c) != min_load) continue;
+      candidates.push_back(c);
+      if (strategies.at(user, c) == 0) unused_minima.push_back(c);
+    }
+    if (!unused_minima.empty()) candidates = std::move(unused_minima);
+  }
+
+  const ChannelId chosen = pick(candidates, tie_break, rng);
+  strategies.add_radio(user, chosen);
+  return chosen;
+}
+
+void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
+                                UserId user, TieBreak tie_break, Rng* rng) {
+  game.check_compatible(strategies);
+  if (strategies.user_total(user) != 0) {
+    throw std::logic_error(
+        "allocate_user_sequentially: user already has radios deployed");
+  }
+  const RadioCount k = game.config().radios_per_user;
+  for (RadioCount j = 0; j < k; ++j) {
+    place_one_radio(game, strategies, user, tie_break, rng);
+  }
+}
+
+StrategyMatrix sequential_allocation(const Game& game,
+                                     const SequentialOptions& options,
+                                     Rng* rng) {
+  StrategyMatrix strategies = game.empty_strategy();
+  std::vector<UserId> order = options.user_order;
+  if (order.empty()) {
+    order.resize(game.config().num_users);
+    for (UserId i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  if (order.size() != game.config().num_users) {
+    throw std::invalid_argument(
+        "sequential_allocation: user_order must list every user exactly once");
+  }
+  std::vector<bool> seen(game.config().num_users, false);
+  for (const UserId user : order) {
+    if (user >= seen.size() || seen[user]) {
+      throw std::invalid_argument(
+          "sequential_allocation: user_order must be a permutation");
+    }
+    seen[user] = true;
+  }
+  for (const UserId user : order) {
+    allocate_user_sequentially(game, strategies, user, options.tie_break, rng);
+  }
+  return strategies;
+}
+
+}  // namespace mrca

@@ -1,0 +1,58 @@
+// Algorithm 1 of the paper: centralized sequential allocation that reaches
+// a Pareto-optimal Nash equilibrium.
+//
+//   for i = 1..|N|:
+//     for j = 1..k:
+//       if all channel loads are equal:  use the radio on a channel with
+//                                        k_{i,c} = 0
+//       else:                            use the radio on a channel with
+//                                        minimal load
+//
+// The paper leaves ties unspecified; the tie-break policy is pluggable and
+// the test suite proves every policy yields a NE from an empty start. The
+// allocator also works incrementally (users joining an existing allocation),
+// which the cognitive-radio example uses.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+enum class TieBreak {
+  /// Lowest channel index first (fully deterministic; default).
+  kLowestIndex,
+  /// Uniformly at random among tied channels (needs an Rng).
+  kRandom,
+};
+
+struct SequentialOptions {
+  TieBreak tie_break = TieBreak::kLowestIndex;
+  /// Order in which users allocate; empty = natural order 0..N-1.
+  std::vector<UserId> user_order;
+};
+
+/// Runs Algorithm 1 from an empty allocation and returns the result.
+/// `rng` may be null unless tie_break == kRandom.
+StrategyMatrix sequential_allocation(const Game& game,
+                                     const SequentialOptions& options = {},
+                                     Rng* rng = nullptr);
+
+/// Allocates all k radios of one user into an existing matrix using the
+/// Algorithm 1 placement rule (the user must currently have no radios).
+void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
+                                UserId user,
+                                TieBreak tie_break = TieBreak::kLowestIndex,
+                                Rng* rng = nullptr);
+
+/// Places a single radio by the Algorithm 1 rule; returns the channel used.
+ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
+                          UserId user,
+                          TieBreak tie_break = TieBreak::kLowestIndex,
+                          Rng* rng = nullptr);
+
+}  // namespace mrca

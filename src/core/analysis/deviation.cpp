@@ -1,0 +1,235 @@
+#include "core/analysis/deviation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrca {
+namespace {
+
+/// User's rate share on a channel with `own` of its radios among `load`
+/// total radios paying rate R(load). Zero own radios earn zero.
+double share(const RateFunction& rate_fn, RadioCount own, RadioCount load) {
+  if (own <= 0 || load <= 0) return 0.0;
+  return static_cast<double>(own) / static_cast<double>(load) *
+         rate_fn.rate(load);
+}
+
+}  // namespace
+
+std::string SingleChange::describe() const {
+  std::ostringstream out;
+  out << "user " << user << ": ";
+  switch (kind) {
+    case Kind::kMove:
+      out << "move radio " << from << " -> " << to;
+      break;
+    case Kind::kDeploy:
+      out << "deploy spare radio on " << to;
+      break;
+    case Kind::kPark:
+      out << "park radio from " << from;
+      break;
+  }
+  out << " (benefit " << benefit << ")";
+  return out.str();
+}
+
+double move_benefit(const Game& game, const StrategyMatrix& strategies,
+                    const RadioMove& move) {
+  game.check_compatible(strategies);
+  if (strategies.at(move.user, move.from) <= 0) {
+    throw std::logic_error("move_benefit: user has no radio on source channel");
+  }
+  if (move.from == move.to) return 0.0;
+  const RateFunction& rate_fn = game.rate_function();
+  const RadioCount own_from = strategies.at(move.user, move.from);
+  const RadioCount own_to = strategies.at(move.user, move.to);
+  const RadioCount load_from = strategies.channel_load(move.from);
+  const RadioCount load_to = strategies.channel_load(move.to);
+  const double before =
+      share(rate_fn, own_from, load_from) + share(rate_fn, own_to, load_to);
+  const double after = share(rate_fn, own_from - 1, load_from - 1) +
+                       share(rate_fn, own_to + 1, load_to + 1);
+  return after - before;
+}
+
+double deploy_benefit(const Game& game, const StrategyMatrix& strategies,
+                      UserId user, ChannelId channel) {
+  game.check_compatible(strategies);
+  if (strategies.spare_radios(user) <= 0) {
+    throw std::logic_error("deploy_benefit: user has no spare radio");
+  }
+  const RateFunction& rate_fn = game.rate_function();
+  const RadioCount own = strategies.at(user, channel);
+  const RadioCount load = strategies.channel_load(channel);
+  return share(rate_fn, own + 1, load + 1) - share(rate_fn, own, load);
+}
+
+double park_benefit(const Game& game, const StrategyMatrix& strategies,
+                    UserId user, ChannelId channel) {
+  game.check_compatible(strategies);
+  if (strategies.at(user, channel) <= 0) {
+    throw std::logic_error("park_benefit: user has no radio on that channel");
+  }
+  const RateFunction& rate_fn = game.rate_function();
+  const RadioCount own = strategies.at(user, channel);
+  const RadioCount load = strategies.channel_load(channel);
+  return share(rate_fn, own - 1, load - 1) - share(rate_fn, own, load);
+}
+
+std::optional<SingleChange> best_single_change(const Game& game,
+                                               const StrategyMatrix& strategies,
+                                               UserId user, double tolerance) {
+  game.check_compatible(strategies);
+  std::optional<SingleChange> best;
+  auto consider = [&](SingleChange candidate) {
+    if (candidate.benefit <= tolerance) return;
+    if (!best || candidate.benefit > best->benefit) best = candidate;
+  };
+
+  const std::size_t channels = strategies.num_channels();
+  const bool has_spare = strategies.spare_radios(user) > 0;
+  for (ChannelId to = 0; to < channels; ++to) {
+    if (has_spare) {
+      consider({SingleChange::Kind::kDeploy, user, /*from=*/0, to,
+                deploy_benefit(game, strategies, user, to)});
+    }
+  }
+  for (ChannelId from = 0; from < channels; ++from) {
+    if (strategies.at(user, from) <= 0) continue;
+    consider({SingleChange::Kind::kPark, user, from, /*to=*/0,
+              park_benefit(game, strategies, user, from)});
+    for (ChannelId to = 0; to < channels; ++to) {
+      if (to == from) continue;
+      consider({SingleChange::Kind::kMove, user, from, to,
+                move_benefit(game, strategies, {user, from, to})});
+    }
+  }
+  return best;
+}
+
+std::vector<SingleChange> improving_changes_for_user(
+    const Game& game, const StrategyMatrix& strategies, UserId user,
+    double tolerance) {
+  std::vector<SingleChange> result;
+  const std::size_t channels = strategies.num_channels();
+  const bool has_spare = strategies.spare_radios(user) > 0;
+  for (ChannelId to = 0; to < channels; ++to) {
+    if (has_spare) {
+      const double benefit = deploy_benefit(game, strategies, user, to);
+      if (benefit > tolerance) {
+        result.push_back({SingleChange::Kind::kDeploy, user, 0, to, benefit});
+      }
+    }
+  }
+  for (ChannelId from = 0; from < channels; ++from) {
+    if (strategies.at(user, from) <= 0) continue;
+    const double park = park_benefit(game, strategies, user, from);
+    if (park > tolerance) {
+      result.push_back({SingleChange::Kind::kPark, user, from, 0, park});
+    }
+    for (ChannelId to = 0; to < channels; ++to) {
+      if (to == from) continue;
+      const double benefit = move_benefit(game, strategies, {user, from, to});
+      if (benefit > tolerance) {
+        result.push_back(
+            {SingleChange::Kind::kMove, user, from, to, benefit});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<SingleChange> improving_single_changes(
+    const Game& game, const StrategyMatrix& strategies, double tolerance) {
+  std::vector<SingleChange> result;
+  for (UserId user = 0; user < strategies.num_users(); ++user) {
+    auto per_user =
+        improving_changes_for_user(game, strategies, user, tolerance);
+    result.insert(result.end(), per_user.begin(), per_user.end());
+  }
+  return result;
+}
+
+BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
+                           UserId user) {
+  game.check_compatible(strategies);
+  const RateFunction& rate_fn = game.rate_function();
+  const std::size_t channels = strategies.num_channels();
+  const auto budget = static_cast<std::size_t>(game.config().radios_per_user);
+
+  // Opponents' load per channel.
+  std::vector<RadioCount> opponent_load(channels);
+  for (ChannelId c = 0; c < channels; ++c) {
+    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
+  }
+
+  // f[c][x]: user's rate on channel c when placing x radios there.
+  std::vector<std::vector<double>> gain(channels,
+                                        std::vector<double>(budget + 1, 0.0));
+  for (ChannelId c = 0; c < channels; ++c) {
+    for (std::size_t x = 1; x <= budget; ++x) {
+      const auto load =
+          opponent_load[c] + static_cast<RadioCount>(x);
+      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
+                   rate_fn.rate(load);
+    }
+  }
+
+  // value[c][b]: best achievable total from channels c..end with b radios.
+  // choice[c][b]: the optimal count placed on channel c in that state.
+  std::vector<std::vector<double>> value(
+      channels + 1, std::vector<double>(budget + 1, 0.0));
+  std::vector<std::vector<std::size_t>> choice(
+      channels, std::vector<std::size_t>(budget + 1, 0));
+  for (ChannelId c = channels; c-- > 0;) {
+    for (std::size_t b = 0; b <= budget; ++b) {
+      double best_value = -1.0;
+      std::size_t best_x = 0;
+      for (std::size_t x = 0; x <= b; ++x) {
+        const double candidate = gain[c][x] + value[c + 1][b - x];
+        // Strict '>' with ascending x prefers parking surplus radios on
+        // ties; utility is unaffected, and tests assert only the value.
+        if (candidate > best_value) {
+          best_value = candidate;
+          best_x = x;
+        }
+      }
+      value[c][b] = best_value;
+      choice[c][b] = best_x;
+    }
+  }
+
+  BestResponse response;
+  response.utility = value[0][budget];
+  response.strategy.resize(channels, 0);
+  std::size_t remaining = budget;
+  for (ChannelId c = 0; c < channels; ++c) {
+    const std::size_t x = choice[c][remaining];
+    response.strategy[c] = static_cast<RadioCount>(x);
+    remaining -= x;
+  }
+  return response;
+}
+
+double utility_if_played(const Game& game, const StrategyMatrix& strategies,
+                         UserId user, std::span<const RadioCount> row) {
+  game.check_compatible(strategies);
+  if (row.size() != strategies.num_channels()) {
+    throw std::invalid_argument("utility_if_played: wrong row width");
+  }
+  const RateFunction& rate_fn = game.rate_function();
+  double total = 0.0;
+  for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
+    if (row[c] <= 0) continue;
+    const RadioCount opponents =
+        strategies.channel_load(c) - strategies.at(user, c);
+    const RadioCount load = opponents + row[c];
+    total += static_cast<double>(row[c]) / static_cast<double>(load) *
+             rate_fn.rate(load);
+  }
+  return total;
+}
+
+}  // namespace mrca

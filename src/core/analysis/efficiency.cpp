@@ -1,0 +1,48 @@
+#include "core/analysis/efficiency.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace mrca {
+
+std::vector<RadioCount> nash_load_profile(const GameConfig& config) {
+  const auto total = static_cast<std::size_t>(config.total_radios());
+  const std::size_t channels = config.num_channels;
+  const auto base = static_cast<RadioCount>(total / channels);
+  const std::size_t heavy = total % channels;
+  std::vector<RadioCount> loads(channels, base);
+  for (std::size_t c = 0; c < heavy; ++c) loads[c] = base + 1;
+  return loads;
+}
+
+double nash_welfare(const Game& game) {
+  double welfare = 0.0;
+  for (const RadioCount load : nash_load_profile(game.config())) {
+    if (load > 0) welfare += game.rate_function().rate(load);
+  }
+  return welfare;
+}
+
+double price_of_anarchy(const Game& game) {
+  const double at_nash = nash_welfare(game);
+  if (at_nash <= 0.0) return 0.0;
+  return game.optimal_welfare() / at_nash;
+}
+
+RadioCount load_imbalance(const StrategyMatrix& strategies) {
+  return strategies.max_load() - strategies.min_load();
+}
+
+double utility_fairness(const Game& game, const StrategyMatrix& strategies) {
+  const std::vector<double> utilities = game.utilities(strategies);
+  return jain_fairness(utilities);
+}
+
+double welfare_efficiency(const Game& game, const StrategyMatrix& strategies) {
+  const double optimum = game.optimal_welfare();
+  if (optimum <= 0.0) return 1.0;
+  return game.welfare(strategies) / optimum;
+}
+
+}  // namespace mrca

@@ -1,0 +1,41 @@
+// System-efficiency metrics: Nash-equilibrium welfare, price of anarchy /
+// stability, load balance and fairness.
+//
+// Theorem 1 pins down the channel loads of every NE: with T = |N|*k total
+// radios over |C| channels, exactly (T mod |C|) channels carry
+// ceil(T/|C|) radios and the rest carry floor(T/|C|). Welfare depends only
+// on the loads, so all NE share one welfare value, computable in closed
+// form at any scale — no enumeration needed.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+/// The balanced load vector every NE realizes (descending, e.g. {3,3,2,2}).
+std::vector<RadioCount> nash_load_profile(const GameConfig& config);
+
+/// Welfare of any NE: sum of R(load) over the balanced load profile.
+/// Requires the conflict regime check only for interpretation; in the
+/// no-conflict regime this returns the Fact-1 welfare min(T,|C|)*R(1).
+double nash_welfare(const Game& game);
+
+/// Price of anarchy, optimal_welfare / nash_welfare. All NE have equal
+/// welfare here, so PoA == PoS (price of stability). 1.0 for constant R in
+/// the conflict regime (Theorem 2's system-optimality); > 1 for strictly
+/// decreasing R.
+double price_of_anarchy(const Game& game);
+
+/// Max minus min channel load of an arbitrary allocation.
+RadioCount load_imbalance(const StrategyMatrix& strategies);
+
+/// Jain fairness index over users' utilities.
+double utility_fairness(const Game& game, const StrategyMatrix& strategies);
+
+/// Fraction of the system optimum this allocation achieves, in [0, 1].
+double welfare_efficiency(const Game& game, const StrategyMatrix& strategies);
+
+}  // namespace mrca

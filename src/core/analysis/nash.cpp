@@ -1,0 +1,126 @@
+#include "core/analysis/nash.h"
+
+#include <algorithm>
+
+namespace mrca {
+
+bool is_single_move_stable(const Game& game, const StrategyMatrix& strategies,
+                           double tolerance) {
+  for (UserId user = 0; user < strategies.num_users(); ++user) {
+    if (best_single_change(game, strategies, user, tolerance)) return false;
+  }
+  return true;
+}
+
+bool is_nash_equilibrium(const Game& game, const StrategyMatrix& strategies,
+                         double tolerance) {
+  return !find_nash_violation(game, strategies, tolerance).has_value();
+}
+
+std::optional<NashViolation> find_nash_violation(
+    const Game& game, const StrategyMatrix& strategies, double tolerance) {
+  game.check_compatible(strategies);
+  for (UserId user = 0; user < strategies.num_users(); ++user) {
+    const double current = game.utility(strategies, user);
+    BestResponse response = best_response(game, strategies, user);
+    if (response.utility > current + tolerance) {
+      return NashViolation{user, std::move(response.strategy), current,
+                           response.utility};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void enumerate_rows_recursive(std::size_t channel, RadioCount remaining,
+                              bool exact, std::vector<RadioCount>& current,
+                              std::vector<std::vector<RadioCount>>& out) {
+  if (channel + 1 == current.size()) {
+    // Last channel: either anything from 0..remaining (free budget) or
+    // exactly the remainder (full deployment).
+    if (exact) {
+      current[channel] = remaining;
+      out.push_back(current);
+    } else {
+      for (RadioCount x = 0; x <= remaining; ++x) {
+        current[channel] = x;
+        out.push_back(current);
+      }
+    }
+    return;
+  }
+  for (RadioCount x = 0; x <= remaining; ++x) {
+    current[channel] = x;
+    enumerate_rows_recursive(channel + 1, remaining - x, exact, current, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<RadioCount>> enumerate_strategy_rows(
+    const GameConfig& config) {
+  std::vector<std::vector<RadioCount>> rows;
+  std::vector<RadioCount> current(config.num_channels, 0);
+  enumerate_rows_recursive(0, config.radios_per_user, /*exact=*/false, current,
+                           rows);
+  return rows;
+}
+
+std::vector<std::vector<RadioCount>> enumerate_full_rows(
+    const GameConfig& config) {
+  std::vector<std::vector<RadioCount>> rows;
+  std::vector<RadioCount> current(config.num_channels, 0);
+  enumerate_rows_recursive(0, config.radios_per_user, /*exact=*/true, current,
+                           rows);
+  return rows;
+}
+
+std::size_t for_each_strategy_matrix(
+    const GameConfig& config,
+    const std::function<bool(const StrategyMatrix&)>& visit,
+    bool full_deployment_only) {
+  const auto rows = full_deployment_only ? enumerate_full_rows(config)
+                                         : enumerate_strategy_rows(config);
+  StrategyMatrix matrix(config);
+  std::size_t visited = 0;
+  // Odometer over per-user row choices.
+  std::vector<std::size_t> indices(config.num_users, 0);
+  for (UserId i = 0; i < config.num_users; ++i) {
+    matrix.set_row(i, rows[0]);
+  }
+  while (true) {
+    ++visited;
+    if (!visit(matrix)) return visited;
+    // Advance the odometer.
+    std::size_t position = 0;
+    while (position < config.num_users) {
+      ++indices[position];
+      if (indices[position] < rows.size()) {
+        matrix.set_row(position, rows[indices[position]]);
+        break;
+      }
+      indices[position] = 0;
+      matrix.set_row(position, rows[0]);
+      ++position;
+    }
+    if (position == config.num_users) return visited;
+  }
+}
+
+std::vector<StrategyMatrix> enumerate_nash_equilibria(
+    const Game& game, double tolerance, bool full_deployment_only) {
+  std::vector<StrategyMatrix> equilibria;
+  for_each_strategy_matrix(
+      game.config(),
+      [&](const StrategyMatrix& matrix) {
+        if (is_nash_equilibrium(game, matrix, tolerance)) {
+          equilibria.push_back(matrix);
+        }
+        return true;
+      },
+      full_deployment_only);
+  return equilibria;
+}
+
+}  // namespace mrca

@@ -1,0 +1,72 @@
+// Exact equilibrium checkers and small-game enumeration oracles.
+//
+// Three layers of rigor:
+//   1. check_theorem1 (lemmas.h) — the paper's printed predicate, O(N*C^2).
+//   2. is_single_move_stable — no user can gain by relocating, deploying or
+//      parking ONE radio. O(N*C^2) with O(1) incremental benefits.
+//   3. is_nash_equilibrium — no user can gain by ANY unilateral strategy
+//      change (Definition 1), via the exact best-response DP. O(N*C*k^2).
+// Layer 3 implies layer 2. The test suite quantifies agreement between all
+// three, and `enumerate_*` provides the brute-force ground truth for tiny
+// games.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/analysis/deviation.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+/// True when no single-radio change (move/deploy/park) improves any user's
+/// utility by more than `tolerance`.
+bool is_single_move_stable(const Game& game, const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance);
+
+/// A witness that a strategy matrix is not a Nash equilibrium.
+struct NashViolation {
+  UserId user = 0;
+  std::vector<RadioCount> better_strategy;
+  double current_utility = 0.0;
+  double better_utility = 0.0;
+};
+
+/// True when the matrix is a Nash equilibrium per Definition 1: for every
+/// user, the exact best response does not beat the current strategy by more
+/// than `tolerance`.
+bool is_nash_equilibrium(const Game& game, const StrategyMatrix& strategies,
+                         double tolerance = kUtilityTolerance);
+
+/// As above, but returns the first profitable deviation found (or nullopt).
+std::optional<NashViolation> find_nash_violation(
+    const Game& game, const StrategyMatrix& strategies,
+    double tolerance = kUtilityTolerance);
+
+/// Enumerates every strategy row for one user: all vectors of |C|
+/// non-negative counts with sum <= k (users may park radios, cf. Figure 1).
+/// Count: binomial(k + |C|, |C|).
+std::vector<std::vector<RadioCount>> enumerate_strategy_rows(
+    const GameConfig& config);
+
+/// Enumerates all strategy rows with sum == k (full deployment only).
+std::vector<std::vector<RadioCount>> enumerate_full_rows(
+    const GameConfig& config);
+
+/// Calls `visit` with every strategy matrix of the game (cartesian product
+/// of per-user rows). Returns the number visited. STOPS and returns early if
+/// `visit` returns false. Intended for tiny games in tests/benches; the
+/// count grows as binomial(k+|C|, |C|)^N.
+std::size_t for_each_strategy_matrix(
+    const GameConfig& config,
+    const std::function<bool(const StrategyMatrix&)>& visit,
+    bool full_deployment_only = false);
+
+/// Brute-force count / collection of all Nash equilibria of a tiny game.
+std::vector<StrategyMatrix> enumerate_nash_equilibria(
+    const Game& game, double tolerance = kUtilityTolerance,
+    bool full_deployment_only = false);
+
+}  // namespace mrca

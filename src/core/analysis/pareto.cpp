@@ -1,0 +1,47 @@
+#include "core/analysis/pareto.h"
+
+#include <cmath>
+
+#include "core/analysis/nash.h"
+
+namespace mrca {
+
+bool pareto_dominates(const Game& game, const StrategyMatrix& candidate,
+                      const StrategyMatrix& incumbent, double tolerance) {
+  game.check_compatible(candidate);
+  game.check_compatible(incumbent);
+  bool some_strictly_better = false;
+  for (UserId i = 0; i < incumbent.num_users(); ++i) {
+    const double old_utility = game.utility(incumbent, i);
+    const double new_utility = game.utility(candidate, i);
+    if (new_utility < old_utility - tolerance) return false;
+    if (new_utility > old_utility + tolerance) some_strictly_better = true;
+  }
+  return some_strictly_better;
+}
+
+std::optional<StrategyMatrix> find_pareto_dominator(
+    const Game& game, const StrategyMatrix& strategies, double tolerance) {
+  std::optional<StrategyMatrix> dominator;
+  for_each_strategy_matrix(game.config(), [&](const StrategyMatrix& other) {
+    if (pareto_dominates(game, other, strategies, tolerance)) {
+      dominator = other;
+      return false;  // stop enumeration
+    }
+    return true;
+  });
+  return dominator;
+}
+
+bool is_pareto_optimal(const Game& game, const StrategyMatrix& strategies,
+                       double tolerance) {
+  return !find_pareto_dominator(game, strategies, tolerance).has_value();
+}
+
+bool welfare_certifies_pareto(const Game& game,
+                              const StrategyMatrix& strategies,
+                              double tolerance) {
+  return game.welfare(strategies) >= game.optimal_welfare() - tolerance;
+}
+
+}  // namespace mrca

@@ -1,0 +1,114 @@
+#include "core/analysis/symmetry.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace mrca {
+namespace {
+
+void check_permutation(std::span<const std::size_t> perm, std::size_t size,
+                       const char* what) {
+  if (perm.size() != size) {
+    throw std::invalid_argument(std::string(what) + ": wrong size");
+  }
+  std::vector<bool> seen(size, false);
+  for (const std::size_t index : perm) {
+    if (index >= size || seen[index]) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": not a permutation");
+    }
+    seen[index] = true;
+  }
+}
+
+std::string key_of_rows(const std::vector<std::vector<RadioCount>>& rows) {
+  std::string key;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) key += '|';
+    for (std::size_t c = 0; c < rows[i].size(); ++c) {
+      if (c) key += ',';
+      key += std::to_string(rows[i][c]);
+    }
+  }
+  return key;
+}
+
+std::vector<std::vector<RadioCount>> rows_of(const StrategyMatrix& matrix) {
+  std::vector<std::vector<RadioCount>> rows(matrix.num_users());
+  for (UserId i = 0; i < matrix.num_users(); ++i) {
+    const auto row = matrix.row(i);
+    rows[i].assign(row.begin(), row.end());
+  }
+  return rows;
+}
+
+}  // namespace
+
+StrategyMatrix permute_users(const StrategyMatrix& strategies,
+                             std::span<const UserId> perm) {
+  check_permutation(perm, strategies.num_users(), "permute_users");
+  std::vector<std::vector<RadioCount>> rows(strategies.num_users());
+  for (UserId i = 0; i < strategies.num_users(); ++i) {
+    const auto row = strategies.row(perm[i]);
+    rows[i].assign(row.begin(), row.end());
+  }
+  return StrategyMatrix::from_rows(strategies.config(), rows);
+}
+
+StrategyMatrix permute_channels(const StrategyMatrix& strategies,
+                                std::span<const ChannelId> perm) {
+  check_permutation(perm, strategies.num_channels(), "permute_channels");
+  std::vector<std::vector<RadioCount>> rows(
+      strategies.num_users(),
+      std::vector<RadioCount>(strategies.num_channels()));
+  for (UserId i = 0; i < strategies.num_users(); ++i) {
+    for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
+      rows[i][c] = strategies.at(i, perm[c]);
+    }
+  }
+  return StrategyMatrix::from_rows(strategies.config(), rows);
+}
+
+std::string canonical_key_users(const StrategyMatrix& strategies) {
+  auto rows = rows_of(strategies);
+  std::sort(rows.begin(), rows.end());
+  return key_of_rows(rows);
+}
+
+std::string canonical_key(const StrategyMatrix& strategies) {
+  std::vector<ChannelId> perm(strategies.num_channels());
+  std::iota(perm.begin(), perm.end(), ChannelId{0});
+  std::string best;
+  bool first = true;
+  do {
+    const StrategyMatrix permuted = permute_channels(strategies, perm);
+    std::string candidate = canonical_key_users(permuted);
+    if (first || candidate < best) {
+      best = std::move(candidate);
+      first = false;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+std::vector<std::size_t> symmetry_class_sizes(
+    const std::vector<StrategyMatrix>& matrices) {
+  std::map<std::string, std::size_t> classes;
+  for (const StrategyMatrix& matrix : matrices) {
+    ++classes[canonical_key(matrix)];
+  }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(classes.size());
+  for (const auto& [key, count] : classes) sizes.push_back(count);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+std::size_t count_symmetry_classes(
+    const std::vector<StrategyMatrix>& matrices) {
+  return symmetry_class_sizes(matrices).size();
+}
+
+}  // namespace mrca

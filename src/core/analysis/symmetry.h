@@ -1,0 +1,49 @@
+// Symmetry analysis of strategy matrices.
+//
+// The paper's game is fully symmetric: users are interchangeable (same k,
+// same utility function) and channels are interchangeable (identical rate
+// functions). Permuting users (rows) or channels (columns) therefore maps
+// equilibria to equilibria. This module provides the canonical form under
+// those symmetries, which the audit benches use to count *structurally
+// distinct* equilibria rather than raw matrices (e.g. the 36 Nash
+// equilibria of N=4, k=2, C=3 collapse to a handful of classes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace mrca {
+
+/// Returns S with rows reordered: row i of the result is row perm[i] of
+/// the input. `perm` must be a permutation of 0..N-1.
+StrategyMatrix permute_users(const StrategyMatrix& strategies,
+                             std::span<const UserId> perm);
+
+/// Returns S with columns reordered: column c of the result is column
+/// perm[c] of the input. `perm` must be a permutation of 0..C-1.
+StrategyMatrix permute_channels(const StrategyMatrix& strategies,
+                                std::span<const ChannelId> perm);
+
+/// Canonical key under USER permutations only: rows sorted
+/// lexicographically. O(N log N * C); exact for the row symmetry.
+std::string canonical_key_users(const StrategyMatrix& strategies);
+
+/// Canonical key under user AND channel permutations: the lexicographic
+/// minimum of canonical_key_users over every column permutation.
+/// Cost grows as |C|! — intended for the small games of the audit benches
+/// (|C| <= 8 is comfortable).
+std::string canonical_key(const StrategyMatrix& strategies);
+
+/// Partitions matrices into symmetry classes by canonical_key; returns the
+/// class sizes in descending order (their sum is the input size).
+std::vector<std::size_t> symmetry_class_sizes(
+    const std::vector<StrategyMatrix>& matrices);
+
+/// Number of distinct symmetry classes among `matrices`.
+std::size_t count_symmetry_classes(const std::vector<StrategyMatrix>& matrices);
+
+}  // namespace mrca

@@ -1,0 +1,69 @@
+// EXTENSION (paper §2 future work): other utility functions.
+//
+// The paper's users maximize raw total rate; it explicitly defers other
+// utilities. The first practically-relevant departure is an energy price
+// per active radio:
+//
+//   U_i(S) = sum_c (k_{i,c}/k_c) * R(k_c)  -  cost * k_i.
+//
+// A positive cost changes the game qualitatively:
+//   - Lemma 1 breaks: users deliberately park radios once the marginal
+//     rate of one more radio falls below the energy price;
+//   - the equilibrium deployment level becomes a decreasing function of
+//     cost, with a sharp knee where additional radios stop paying off;
+//   - load balancing survives among the radios that ARE deployed.
+// `bench_energy_ablation` sweeps the cost; the tests pin the knee exactly
+// on small instances.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis/deviation.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+class EnergyAwareGame {
+ public:
+  /// Wraps a base game; `radio_cost` is the utility price (in the same
+  /// unit as the rate function, e.g. Mbit/s-equivalents) per deployed
+  /// radio. Cost must be >= 0; zero reduces to the paper's game.
+  EnergyAwareGame(Game base, double radio_cost);
+
+  const Game& base() const noexcept { return base_; }
+  double radio_cost() const noexcept { return cost_; }
+
+  /// Rate minus energy: U_i(S) - cost * k_i.
+  double utility(const StrategyMatrix& strategies, UserId user) const;
+  std::vector<double> utilities(const StrategyMatrix& strategies) const;
+  double welfare(const StrategyMatrix& strategies) const;
+
+  /// Exact best response (budgeted DP with the per-radio penalty folded
+  /// into each channel's gain — the objective stays separable).
+  BestResponse best_response(const StrategyMatrix& strategies,
+                             UserId user) const;
+
+  bool is_nash_equilibrium(const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance) const;
+
+  /// Round-robin best-response dynamics from `start`.
+  struct Outcome {
+    bool converged = false;
+    std::size_t improving_steps = 0;
+    StrategyMatrix final_state;
+  };
+  Outcome run_best_response_dynamics(const StrategyMatrix& start,
+                                     std::size_t max_activations = 100000,
+                                     double tolerance = kUtilityTolerance) const;
+
+  /// Total deployed radios at the dynamics fixed point reached from the
+  /// empty allocation — the equilibrium deployment level for this cost.
+  RadioCount equilibrium_deployment() const;
+
+ private:
+  Game base_;
+  double cost_;
+};
+
+}  // namespace mrca

@@ -1,0 +1,86 @@
+// EXTENSION (paper §2 relaxation): heterogeneous channels.
+//
+// The paper assumes all channels share one rate function R(k). Real bands
+// do not (different widths, noise floors, rate adaptation); this module
+// drops that assumption: channel c has its own non-increasing rate
+// function R_c(k). The load-balancing characterization of Theorem 1 no
+// longer holds — equilibria instead approximately equalize the PER-RADIO
+// rate R_c(k_c)/k_c across occupied channels (a discrete water-filling),
+// which `per_radio_spread` quantifies and the extension tests verify.
+//
+// The exact best-response DP of the homogeneous game carries over
+// unchanged in structure (the objective stays separable per channel).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/rate_function.h"
+#include "core/strategy.h"
+#include "core/types.h"
+
+namespace mrca {
+
+/// Best response result for the heterogeneous game.
+struct BestResponseHet {
+  std::vector<RadioCount> strategy;
+  double utility = 0.0;
+};
+
+class HeterogeneousGame {
+ public:
+  /// One rate function per channel; size must equal config.num_channels.
+  HeterogeneousGame(GameConfig config,
+                    std::vector<std::shared_ptr<const RateFunction>> rates);
+
+  const GameConfig& config() const noexcept { return config_; }
+  const RateFunction& rate_function(ChannelId channel) const;
+
+  StrategyMatrix empty_strategy() const { return StrategyMatrix(config_); }
+
+  /// U_i(S) = sum_c (k_{i,c}/k_c) * R_c(k_c).
+  double utility(const StrategyMatrix& strategies, UserId user) const;
+  std::vector<double> utilities(const StrategyMatrix& strategies) const;
+  double welfare(const StrategyMatrix& strategies) const;
+
+  /// The system optimum: one radio on each of the min(|C|, N*k) channels
+  /// with the largest R_c(1).
+  double optimal_welfare() const;
+
+  /// Exact best response of `user` (DP over channels x budget).
+  BestResponseHet best_response(const StrategyMatrix& strategies,
+                                UserId user) const;
+
+  /// True when no user can improve by more than `tolerance` with ANY
+  /// unilateral strategy change.
+  bool is_nash_equilibrium(const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance) const;
+
+  /// Greedy selfish filling (the Algorithm 1 analogue): each user in turn
+  /// places each radio on the channel with the best marginal rate for it.
+  StrategyMatrix greedy_allocation() const;
+
+  /// Best-response dynamics from `start`; returns the final state (which
+  /// is a verified NE iff the returned `converged` flag is true).
+  struct DynamicsOutcome {
+    bool converged = false;
+    std::size_t improving_steps = 0;
+    StrategyMatrix final_state;
+  };
+  DynamicsOutcome run_best_response_dynamics(
+      const StrategyMatrix& start, std::size_t max_activations = 100000,
+      double tolerance = kUtilityTolerance) const;
+
+  /// Water-filling diagnostic: (max - min) over occupied channels of the
+  /// per-radio rate R_c(k_c)/k_c. Small values = equalized marginal value.
+  double per_radio_spread(const StrategyMatrix& strategies) const;
+
+ private:
+  void check_compatible(const StrategyMatrix& strategies) const;
+
+  GameConfig config_;
+  std::vector<std::shared_ptr<const RateFunction>> rates_;
+};
+
+}  // namespace mrca

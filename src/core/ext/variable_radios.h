@@ -1,0 +1,81 @@
+// EXTENSION (paper §2 relaxation): users with DIFFERENT radio counts.
+//
+// The paper gives every user the same k. Real deployments mix 1-radio
+// clients with 4-radio routers; this module generalizes the game to a
+// budget vector (k_1, ..., k_N), each k_i <= |C|. The load-balancing
+// structure survives: the sequential allocator keeps loads within one
+// radio of each other and its output remains a Nash equilibrium for every
+// non-increasing rate function, while per-user utilities now scale with
+// the radio budgets (more radios, more spectrum share).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/analysis/deviation.h"
+#include "core/game.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+class VariableRadioGame {
+ public:
+  /// `radio_budgets[i]` is user i's radio count, each in [0, num_channels].
+  VariableRadioGame(std::size_t num_channels,
+                    std::vector<RadioCount> radio_budgets,
+                    std::shared_ptr<const RateFunction> rate_function);
+
+  std::size_t num_users() const noexcept { return budgets_.size(); }
+  std::size_t num_channels() const noexcept {
+    return base_config_.num_channels;
+  }
+  RadioCount budget(UserId user) const;
+  RadioCount total_radios() const noexcept { return total_radios_; }
+  const RateFunction& rate_function() const noexcept { return *rate_; }
+
+  /// All-zero allocation. The matrix is sized with the LARGEST budget as
+  /// its per-user cap; `validate` additionally enforces each user's own
+  /// budget, and every mutation path in this class preserves it.
+  StrategyMatrix empty_strategy() const {
+    return StrategyMatrix(base_config_);
+  }
+
+  /// Throws if any user's deployed radios exceed their budget.
+  void validate(const StrategyMatrix& strategies) const;
+
+  double utility(const StrategyMatrix& strategies, UserId user) const;
+  std::vector<double> utilities(const StrategyMatrix& strategies) const;
+  double welfare(const StrategyMatrix& strategies) const;
+  /// min(|C|, sum_i k_i) * R(1), as in the uniform game.
+  double optimal_welfare() const;
+
+  /// Exact best response under user i's own budget (DP oracle).
+  BestResponse best_response(const StrategyMatrix& strategies,
+                             UserId user) const;
+
+  bool is_nash_equilibrium(const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance) const;
+
+  /// Algorithm 1 generalized: users allocate in order, each radio onto a
+  /// least-loaded channel (preferring channels the user does not occupy).
+  StrategyMatrix sequential_allocation() const;
+
+  /// Round-robin best-response dynamics.
+  struct Outcome {
+    bool converged = false;
+    std::size_t improving_steps = 0;
+    StrategyMatrix final_state;
+  };
+  Outcome run_best_response_dynamics(const StrategyMatrix& start,
+                                     std::size_t max_activations = 100000,
+                                     double tolerance = kUtilityTolerance) const;
+
+ private:
+  GameConfig base_config_;  ///< cap = max budget; per-user checks on top
+  Game base_game_;          ///< shares utility machinery with the core game
+  std::vector<RadioCount> budgets_;
+  RadioCount total_radios_ = 0;
+  std::shared_ptr<const RateFunction> rate_;
+};
+
+}  // namespace mrca

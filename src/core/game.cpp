@@ -1,0 +1,76 @@
+#include "core/game.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrca {
+
+Game::Game(GameConfig config, std::shared_ptr<const RateFunction> rate_function)
+    : config_(config), rate_(std::move(rate_function)) {
+  if (!rate_) {
+    throw std::invalid_argument("Game: rate function must not be null");
+  }
+  // Validate the contract over every load this game can produce.
+  rate_->validate_non_increasing(config_.total_radios());
+}
+
+double Game::channel_rate(const StrategyMatrix& strategies,
+                          ChannelId channel) const {
+  check_compatible(strategies);
+  return rate_->rate(strategies.channel_load(channel));
+}
+
+double Game::user_rate_on_channel(const StrategyMatrix& strategies,
+                                  UserId user, ChannelId channel) const {
+  check_compatible(strategies);
+  const RadioCount own = strategies.at(user, channel);
+  if (own == 0) return 0.0;
+  const RadioCount load = strategies.channel_load(channel);
+  return static_cast<double>(own) / static_cast<double>(load) *
+         rate_->rate(load);
+}
+
+double Game::utility(const StrategyMatrix& strategies, UserId user) const {
+  check_compatible(strategies);
+  double total = 0.0;
+  const auto own_row = strategies.row(user);
+  const auto loads = strategies.channel_loads();
+  for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
+    if (own_row[c] == 0) continue;
+    total += static_cast<double>(own_row[c]) / static_cast<double>(loads[c]) *
+             rate_->rate(loads[c]);
+  }
+  return total;
+}
+
+std::vector<double> Game::utilities(const StrategyMatrix& strategies) const {
+  std::vector<double> result(strategies.num_users());
+  for (UserId i = 0; i < strategies.num_users(); ++i) {
+    result[i] = utility(strategies, i);
+  }
+  return result;
+}
+
+double Game::welfare(const StrategyMatrix& strategies) const {
+  check_compatible(strategies);
+  double total = 0.0;
+  for (const RadioCount load : strategies.channel_loads()) {
+    if (load > 0) total += rate_->rate(load);
+  }
+  return total;
+}
+
+double Game::optimal_welfare() const {
+  const auto occupiable = std::min<std::size_t>(
+      config_.num_channels, static_cast<std::size_t>(config_.total_radios()));
+  return static_cast<double>(occupiable) * rate_->rate(1);
+}
+
+void Game::check_compatible(const StrategyMatrix& strategies) const {
+  if (!(strategies.config() == config_)) {
+    throw std::invalid_argument(
+        "Game: strategy matrix belongs to a different game configuration");
+  }
+}
+
+}  // namespace mrca

@@ -1,0 +1,66 @@
+// The multi-radio channel allocation game: configuration + rate function +
+// the utility function of paper eq. (3),
+//
+//   U_i(S) = sum_c (k_{i,c} / k_c) * R(k_c).
+//
+// The total rate on a channel is shared equally among the radios on it
+// (fair TDMA schedule, or CSMA/CA per Bianchi / the selfish-CSMA result the
+// paper cites), so user i's share on channel c is k_{i,c}/k_c of R(k_c).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rate_function.h"
+#include "core/strategy.h"
+#include "core/types.h"
+
+namespace mrca {
+
+class Game {
+ public:
+  Game(GameConfig config, std::shared_ptr<const RateFunction> rate_function);
+
+  const GameConfig& config() const noexcept { return config_; }
+  const RateFunction& rate_function() const noexcept { return *rate_; }
+  std::shared_ptr<const RateFunction> rate_function_ptr() const noexcept {
+    return rate_;
+  }
+
+  /// Fresh all-zero strategy matrix for this game.
+  StrategyMatrix empty_strategy() const { return StrategyMatrix(config_); }
+
+  /// R(k_c) for the load currently on channel c.
+  double channel_rate(const StrategyMatrix& strategies, ChannelId channel) const;
+
+  /// User i's rate on channel c: (k_{i,c}/k_c) * R(k_c); 0 if k_{i,c}=0.
+  double user_rate_on_channel(const StrategyMatrix& strategies, UserId user,
+                              ChannelId channel) const;
+
+  /// U_i(S), paper eq. (3).
+  double utility(const StrategyMatrix& strategies, UserId user) const;
+
+  /// All users' utilities.
+  std::vector<double> utilities(const StrategyMatrix& strategies) const;
+
+  /// Social welfare: sum over users of U_i = sum over channels of R(k_c)
+  /// (for occupied channels).
+  double welfare(const StrategyMatrix& strategies) const;
+
+  /// The system optimum over ALL strategy matrices (users may park radios):
+  /// occupy every channel that can be occupied with exactly one radio, so
+  ///   W* = min(|C|, N*k) * R(1)
+  /// for a non-increasing rate function. (Proof: each occupied channel
+  /// contributes R(k_c) <= R(1), and at most min(|C|, N*k) channels can be
+  /// occupied.) Verified by exhaustive enumeration in the test suite.
+  double optimal_welfare() const;
+
+  /// Verifies the strategy matrix belongs to this game's configuration.
+  void check_compatible(const StrategyMatrix& strategies) const;
+
+ private:
+  GameConfig config_;
+  std::shared_ptr<const RateFunction> rate_;
+};
+
+}  // namespace mrca

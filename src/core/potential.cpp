@@ -1,0 +1,37 @@
+#include "core/potential.h"
+
+#include "core/analysis/deviation.h"
+
+namespace mrca {
+
+double potential(const Game& game, const StrategyMatrix& strategies) {
+  game.check_compatible(strategies);
+  const RateFunction& rate_fn = game.rate_function();
+  double total = 0.0;
+  for (const RadioCount load : strategies.channel_loads()) {
+    for (RadioCount j = 1; j <= load; ++j) {
+      total += rate_fn.per_radio(j);
+    }
+  }
+  return total;
+}
+
+double potential_delta(const Game& game, const StrategyMatrix& strategies,
+                       const RadioMove& move) {
+  game.check_compatible(strategies);
+  if (move.from == move.to) return 0.0;
+  const RateFunction& rate_fn = game.rate_function();
+  const RadioCount load_from = strategies.channel_load(move.from);
+  const RadioCount load_to = strategies.channel_load(move.to);
+  // Removing the top radio of `from` subtracts R(k_from)/k_from; adding to
+  // `to` contributes R(k_to + 1)/(k_to + 1).
+  return rate_fn.per_radio(load_to + 1) - rate_fn.per_radio(load_from);
+}
+
+double move_potential_gap(const Game& game, const StrategyMatrix& strategies,
+                          const RadioMove& move) {
+  return move_benefit(game, strategies, move) -
+         potential_delta(game, strategies, move);
+}
+
+}  // namespace mrca

@@ -1,0 +1,187 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrca {
+
+StrategyMatrix::StrategyMatrix(const GameConfig& config)
+    : config_(config),
+      cells_(config.num_users * config.num_channels, 0),
+      channel_loads_(config.num_channels, 0),
+      user_totals_(config.num_users, 0) {}
+
+StrategyMatrix StrategyMatrix::from_rows(
+    const GameConfig& config,
+    const std::vector<std::vector<RadioCount>>& rows) {
+  if (rows.size() != config.num_users) {
+    throw std::invalid_argument("StrategyMatrix: wrong number of rows");
+  }
+  StrategyMatrix matrix(config);
+  for (UserId i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != config.num_channels) {
+      throw std::invalid_argument("StrategyMatrix: wrong row width for user " +
+                                  std::to_string(i));
+    }
+    matrix.set_row(i, rows[i]);
+  }
+  return matrix;
+}
+
+RadioCount StrategyMatrix::at(UserId user, ChannelId channel) const {
+  check_user(user);
+  check_channel(channel);
+  return cell(user, channel);
+}
+
+std::span<const RadioCount> StrategyMatrix::row(UserId user) const {
+  check_user(user);
+  return {cells_.data() + user * config_.num_channels, config_.num_channels};
+}
+
+RadioCount StrategyMatrix::channel_load(ChannelId channel) const {
+  check_channel(channel);
+  return channel_loads_[channel];
+}
+
+RadioCount StrategyMatrix::user_total(UserId user) const {
+  check_user(user);
+  return user_totals_[user];
+}
+
+RadioCount StrategyMatrix::spare_radios(UserId user) const {
+  return config_.radios_per_user - user_total(user);
+}
+
+RadioCount StrategyMatrix::min_load() const {
+  return *std::min_element(channel_loads_.begin(), channel_loads_.end());
+}
+
+RadioCount StrategyMatrix::max_load() const {
+  return *std::max_element(channel_loads_.begin(), channel_loads_.end());
+}
+
+std::vector<ChannelId> StrategyMatrix::min_loaded_channels() const {
+  const RadioCount lo = min_load();
+  std::vector<ChannelId> result;
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (channel_loads_[c] == lo) result.push_back(c);
+  }
+  return result;
+}
+
+std::vector<ChannelId> StrategyMatrix::max_loaded_channels() const {
+  const RadioCount hi = max_load();
+  std::vector<ChannelId> result;
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (channel_loads_[c] == hi) result.push_back(c);
+  }
+  return result;
+}
+
+RadioCount StrategyMatrix::load_difference(ChannelId b, ChannelId c) const {
+  return channel_load(b) - channel_load(c);
+}
+
+void StrategyMatrix::add_radio(UserId user, ChannelId channel) {
+  check_user(user);
+  check_channel(channel);
+  if (user_totals_[user] >= config_.radios_per_user) {
+    throw std::logic_error("add_radio: user " + std::to_string(user) +
+                           " has no spare radio");
+  }
+  ++cell(user, channel);
+  ++channel_loads_[channel];
+  ++user_totals_[user];
+  ++total_deployed_;
+}
+
+void StrategyMatrix::remove_radio(UserId user, ChannelId channel) {
+  check_user(user);
+  check_channel(channel);
+  if (cell(user, channel) <= 0) {
+    throw std::logic_error("remove_radio: user " + std::to_string(user) +
+                           " has no radio on channel " +
+                           std::to_string(channel));
+  }
+  --cell(user, channel);
+  --channel_loads_[channel];
+  --user_totals_[user];
+  --total_deployed_;
+}
+
+void StrategyMatrix::move_radio(UserId user, ChannelId from, ChannelId to) {
+  if (from == to) return;
+  check_channel(to);
+  remove_radio(user, from);
+  // remove_radio cannot throw after this point; re-add preserves invariants.
+  ++cell(user, to);
+  ++channel_loads_[to];
+  ++user_totals_[user];
+  ++total_deployed_;
+}
+
+void StrategyMatrix::set_row(UserId user, std::span<const RadioCount> new_row) {
+  check_user(user);
+  if (new_row.size() != config_.num_channels) {
+    throw std::invalid_argument("set_row: wrong row width");
+  }
+  RadioCount total = 0;
+  for (const RadioCount count : new_row) {
+    if (count < 0) throw std::invalid_argument("set_row: negative radio count");
+    total += count;
+  }
+  if (total > config_.radios_per_user) {
+    throw std::invalid_argument("set_row: user exceeds radio budget k=" +
+                                std::to_string(config_.radios_per_user));
+  }
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    const RadioCount old_count = cell(user, c);
+    channel_loads_[c] += new_row[c] - old_count;
+    total_deployed_ += new_row[c] - old_count;
+    cell(user, c) = new_row[c];
+  }
+  user_totals_[user] = total;
+}
+
+bool StrategyMatrix::all_radios_deployed() const {
+  return std::all_of(user_totals_.begin(), user_totals_.end(),
+                     [this](RadioCount total) {
+                       return total == config_.radios_per_user;
+                     });
+}
+
+bool StrategyMatrix::all_channels_occupied() const {
+  return std::all_of(channel_loads_.begin(), channel_loads_.end(),
+                     [](RadioCount load) { return load > 0; });
+}
+
+std::string StrategyMatrix::key() const {
+  std::ostringstream out;
+  for (UserId i = 0; i < config_.num_users; ++i) {
+    if (i > 0) out << '|';
+    for (ChannelId c = 0; c < config_.num_channels; ++c) {
+      if (c > 0) out << ',';
+      out << cell(i, c);
+    }
+  }
+  return out.str();
+}
+
+void StrategyMatrix::check_user(UserId user) const {
+  if (user >= config_.num_users) {
+    throw std::out_of_range("StrategyMatrix: user id " + std::to_string(user) +
+                            " out of range");
+  }
+}
+
+void StrategyMatrix::check_channel(ChannelId channel) const {
+  if (channel >= config_.num_channels) {
+    throw std::out_of_range("StrategyMatrix: channel id " +
+                            std::to_string(channel) + " out of range");
+  }
+}
+
+}  // namespace mrca

@@ -1,0 +1,119 @@
+// Strategy vectors and the strategy matrix S (paper §2, eq. (1)-(2)).
+//
+// Row i of the matrix is user i's strategy s_i = (k_{i,1}, ..., k_{i,|C|});
+// column sums are the channel loads k_c. The class keeps the loads cached
+// and updated incrementally so that equilibrium analysis and response
+// dynamics run in O(1) per radio move.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mrca {
+
+/// A single radio relocation: user moves one radio from `from` to `to`.
+struct RadioMove {
+  UserId user = 0;
+  ChannelId from = 0;
+  ChannelId to = 0;
+
+  friend bool operator==(const RadioMove&, const RadioMove&) = default;
+};
+
+class StrategyMatrix {
+ public:
+  /// All-zero matrix (no radios deployed yet).
+  explicit StrategyMatrix(const GameConfig& config);
+
+  /// Builds from explicit rows; validates shape, non-negativity and the
+  /// per-user radio budget (sum of row i <= k).
+  static StrategyMatrix from_rows(const GameConfig& config,
+                                  const std::vector<std::vector<RadioCount>>& rows);
+
+  const GameConfig& config() const noexcept { return config_; }
+  std::size_t num_users() const noexcept { return config_.num_users; }
+  std::size_t num_channels() const noexcept { return config_.num_channels; }
+
+  /// k_{i,c}: radios user i operates on channel c.
+  RadioCount at(UserId user, ChannelId channel) const;
+
+  /// Row view of user i's strategy vector.
+  std::span<const RadioCount> row(UserId user) const;
+
+  /// k_c: total radios on channel c (cached).
+  RadioCount channel_load(ChannelId channel) const;
+
+  /// All channel loads (k_1, ..., k_|C|).
+  std::span<const RadioCount> channel_loads() const noexcept {
+    return channel_loads_;
+  }
+
+  /// k_i: total radios user i has deployed.
+  RadioCount user_total(UserId user) const;
+
+  /// k - k_i: radios user i has left undeployed ("parked").
+  RadioCount spare_radios(UserId user) const;
+
+  /// Total deployed radios over all users.
+  RadioCount total_deployed() const noexcept { return total_deployed_; }
+
+  RadioCount min_load() const;
+  RadioCount max_load() const;
+
+  /// Channels achieving the minimum / maximum load (paper's C_min / C_max).
+  std::vector<ChannelId> min_loaded_channels() const;
+  std::vector<ChannelId> max_loaded_channels() const;
+
+  /// delta_{b,c} = k_b - k_c (paper eq. (6); can be negative here).
+  RadioCount load_difference(ChannelId b, ChannelId c) const;
+
+  /// Deploys one additional radio of `user` on `channel`.
+  /// Throws if the user has no spare radio.
+  void add_radio(UserId user, ChannelId channel);
+
+  /// Removes (parks) one radio of `user` from `channel`.
+  /// Throws if the user has no radio there.
+  void remove_radio(UserId user, ChannelId channel);
+
+  /// Moves one radio of `user` from one channel to another.
+  void move_radio(UserId user, ChannelId from, ChannelId to);
+  void apply(const RadioMove& move) { move_radio(move.user, move.from, move.to); }
+
+  /// Replaces user i's entire strategy vector (budget-checked).
+  void set_row(UserId user, std::span<const RadioCount> new_row);
+
+  /// True when every user deploys all k radios (Lemma 1's NE condition).
+  bool all_radios_deployed() const;
+
+  /// True when every channel carries at least one radio.
+  bool all_channels_occupied() const;
+
+  /// Canonical string key, e.g. "1,0,2|0,1,1" — rows joined by '|'.
+  /// Useful for deduplication and diagnostics.
+  std::string key() const;
+
+  friend bool operator==(const StrategyMatrix& a, const StrategyMatrix& b) {
+    return a.config_ == b.config_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  void check_user(UserId user) const;
+  void check_channel(ChannelId channel) const;
+  RadioCount& cell(UserId user, ChannelId channel) {
+    return cells_[user * config_.num_channels + channel];
+  }
+  const RadioCount& cell(UserId user, ChannelId channel) const {
+    return cells_[user * config_.num_channels + channel];
+  }
+
+  GameConfig config_;
+  std::vector<RadioCount> cells_;         // row-major |N| x |C|
+  std::vector<RadioCount> channel_loads_; // column sums
+  std::vector<RadioCount> user_totals_;   // row sums
+  RadioCount total_deployed_ = 0;
+};
+
+}  // namespace mrca

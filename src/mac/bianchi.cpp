@@ -1,0 +1,165 @@
+#include "mac/bianchi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/solvers.h"
+
+namespace mrca {
+namespace {
+
+/// tau as a function of the conditional collision probability p
+/// (Bianchi eq. (9)); W = cw_min, m = max_backoff_stage.
+double tau_of_p(double p, int w, int m) {
+  if (p == 0.5) {
+    // The (1-2p) terms vanish; take the analytic limit.
+    // tau = 2 / (W + 1 + m*W/2) ... derive via L'Hopital on eq. (9):
+    const double wd = w;
+    return 2.0 / (wd * (1.0 + 0.5 * static_cast<double>(m)) + 1.0);
+  }
+  const double one_minus_2p = 1.0 - 2.0 * p;
+  const double wd = w;
+  const double numerator = 2.0 * one_minus_2p;
+  const double denominator =
+      one_minus_2p * (wd + 1.0) +
+      p * wd * (1.0 - std::pow(2.0 * p, static_cast<double>(m)));
+  return numerator / denominator;
+}
+
+}  // namespace
+
+BianchiDcfModel::BianchiDcfModel(DcfParameters params) : params_(params) {
+  params_.validate();
+}
+
+double BianchiDcfModel::solve_tau(int stations, int* iterations) const {
+  const int w = params_.cw_min;
+  const int m = params_.max_backoff_stage;
+  if (stations == 1) {
+    if (iterations) *iterations = 0;
+    return tau_of_p(0.0, w, m);  // no collisions: tau = 2/(W+1)
+  }
+  // Root of h(tau) = tau - tau_of_p(1 - (1-tau)^(n-1)).
+  const auto h = [&](double tau) {
+    const double p = 1.0 - std::pow(1.0 - tau, stations - 1);
+    return tau - tau_of_p(p, w, m);
+  };
+  const SolverResult result = bisect(h, 1e-12, 1.0 - 1e-12, 1e-14, 200);
+  if (!result.converged) {
+    throw std::runtime_error("BianchiDcfModel: tau fixed point not found");
+  }
+  if (iterations) *iterations = result.iterations;
+  return result.root;
+}
+
+DcfModelResult BianchiDcfModel::evaluate(int stations, double tau,
+                                         int iterations) const {
+  DcfModelResult result;
+  result.stations = stations;
+  result.tau = tau;
+  result.solver_iterations = iterations;
+  const double n = stations;
+  result.collision_probability =
+      stations > 1 ? 1.0 - std::pow(1.0 - tau, stations - 1) : 0.0;
+  const double p_tr = 1.0 - std::pow(1.0 - tau, n);
+  const double p_s =
+      p_tr > 0.0 ? n * tau * std::pow(1.0 - tau, n - 1.0) / p_tr : 0.0;
+  result.p_transmit = p_tr;
+  result.p_success = p_s;
+
+  const double sigma = params_.slot_time_s;
+  const double t_s = params_.success_time_s();
+  const double t_c = params_.collision_time_s();
+  const double payload = params_.payload_time_s();
+  const double denominator =
+      (1.0 - p_tr) * sigma + p_tr * p_s * t_s + p_tr * (1.0 - p_s) * t_c;
+  result.throughput_fraction =
+      denominator > 0.0 ? p_s * p_tr * payload / denominator : 0.0;
+  result.throughput_bps = result.throughput_fraction * params_.bitrate_bps;
+  return result;
+}
+
+DcfModelResult BianchiDcfModel::saturation_throughput(int stations) const {
+  if (stations < 1) {
+    throw std::invalid_argument("saturation_throughput: stations must be >= 1");
+  }
+  int iterations = 0;
+  const double tau = solve_tau(stations, &iterations);
+  return evaluate(stations, tau, iterations);
+}
+
+DcfModelResult BianchiDcfModel::throughput_at_tau(int stations,
+                                                  double tau) const {
+  if (stations < 1) {
+    throw std::invalid_argument("throughput_at_tau: stations must be >= 1");
+  }
+  if (!(tau > 0.0 && tau <= 1.0)) {
+    throw std::invalid_argument("throughput_at_tau: tau must be in (0,1]");
+  }
+  return evaluate(stations, tau, 0);
+}
+
+double BianchiDcfModel::optimal_tau(int stations) const {
+  if (stations < 1) {
+    throw std::invalid_argument("optimal_tau: stations must be >= 1");
+  }
+  const double t_c_star = params_.collision_time_s() / params_.slot_time_s;
+  const double tau =
+      1.0 / (static_cast<double>(stations) * std::sqrt(t_c_star / 2.0));
+  return std::min(tau, 1.0);
+}
+
+double BianchiDcfModel::exact_optimal_tau(int stations) const {
+  if (stations < 1) {
+    throw std::invalid_argument("exact_optimal_tau: stations must be >= 1");
+  }
+  const auto objective = [&](double tau) {
+    return evaluate(stations, tau, 0).throughput_fraction;
+  };
+  return maximize_unimodal(objective, 1e-6, 1.0 - 1e-6, 1e-12).root;
+}
+
+DcfModelResult BianchiDcfModel::optimal_backoff_throughput(
+    int stations) const {
+  return throughput_at_tau(stations, optimal_tau(stations));
+}
+
+std::vector<double> BianchiDcfModel::practical_rate_table(
+    int max_stations) const {
+  std::vector<double> table;
+  table.reserve(static_cast<std::size_t>(max_stations));
+  for (int n = 1; n <= max_stations; ++n) {
+    table.push_back(saturation_throughput(n).throughput_bps / 1e6);
+  }
+  return table;
+}
+
+std::vector<double> BianchiDcfModel::optimal_rate_table(
+    int max_stations) const {
+  std::vector<double> table;
+  table.reserve(static_cast<std::size_t>(max_stations));
+  for (int n = 1; n <= max_stations; ++n) {
+    table.push_back(optimal_backoff_throughput(n).throughput_bps / 1e6);
+  }
+  return table;
+}
+
+std::shared_ptr<const RateFunction> BianchiDcfModel::make_practical_rate(
+    int max_stations) const {
+  // Monotonize with a generous tolerance: the analytic curve is decreasing
+  // for the default parameters, but large cw_min configurations can rise
+  // slightly before falling; the game contract needs non-increasing R.
+  return std::make_shared<TabulatedRate>(
+      practical_rate_table(max_stations), "Bianchi-DCF(practical)",
+      params_.bitrate_bps / 1e6);
+}
+
+std::shared_ptr<const RateFunction> BianchiDcfModel::make_optimal_rate(
+    int max_stations) const {
+  return std::make_shared<TabulatedRate>(optimal_rate_table(max_stations),
+                                         "Bianchi-DCF(optimal-backoff)",
+                                         params_.bitrate_bps / 1e6);
+}
+
+}  // namespace mrca

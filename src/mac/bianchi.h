@@ -1,0 +1,85 @@
+// Bianchi's analytical model of IEEE 802.11 DCF saturation throughput
+// (G. Bianchi, JSAC 18(3), 2000) — reference [3] of the paper, and the
+// source of the "optimal CSMA/CA" vs "practical CSMA/CA" curves in the
+// paper's Figure 3.
+//
+// Model: n saturated stations; per-station transmission probability tau and
+// conditional collision probability p solve the fixed point
+//
+//   tau = 2(1-2p) / ((1-2p)(W+1) + p W (1 - (2p)^m)),     p = 1-(1-tau)^(n-1)
+//
+// with W = cw_min and m = max_backoff_stage. Normalized saturation
+// throughput (fraction of time the channel carries payload bits):
+//
+//   S = P_s P_tr E[P] / ((1-P_tr) sigma + P_tr P_s T_s + P_tr (1-P_s) T_c).
+//
+// The "optimal backoff" variant replaces the BEB fixed point with the
+// approximately-optimal constant transmission probability
+// tau* ~= 1/(n sqrt(T_c*/2)) (Bianchi §IV), under which throughput is nearly
+// independent of n — the justification for the paper's constant-R regime.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rate_function.h"
+#include "mac/dcf_parameters.h"
+
+namespace mrca {
+
+struct DcfModelResult {
+  int stations = 0;
+  double tau = 0.0;                  ///< per-station tx probability per slot
+  double collision_probability = 0;  ///< p, conditional on transmitting
+  double p_transmit = 0.0;           ///< P_tr, some station transmits
+  double p_success = 0.0;            ///< P_s, tx is a success given P_tr
+  double throughput_fraction = 0.0;  ///< normalized S in [0, 1]
+  double throughput_bps = 0.0;       ///< S * bitrate
+  int solver_iterations = 0;
+};
+
+class BianchiDcfModel {
+ public:
+  explicit BianchiDcfModel(DcfParameters params);
+
+  const DcfParameters& parameters() const noexcept { return params_; }
+
+  /// Standard binary-exponential-backoff DCF ("practical CSMA/CA").
+  DcfModelResult saturation_throughput(int stations) const;
+
+  /// Throughput when every station transmits with the given fixed tau
+  /// (constant contention window, m = 0 style).
+  DcfModelResult throughput_at_tau(int stations, double tau) const;
+
+  /// Bianchi's approximately-optimal transmission probability for n
+  /// stations: tau* = 1/(n*sqrt(T_c*/2)), T_c* = T_c/sigma (clamped to <=1).
+  double optimal_tau(int stations) const;
+
+  /// Numerically exact optimal tau (golden-section max of S(tau)).
+  double exact_optimal_tau(int stations) const;
+
+  /// "Optimal CSMA/CA": stations use optimal_tau(n).
+  DcfModelResult optimal_backoff_throughput(int stations) const;
+
+  /// R(k) tables for the game, k = 1..max_stations, in Mbit/s.
+  /// Practical DCF (decreasing in k).
+  std::vector<double> practical_rate_table(int max_stations) const;
+  /// Optimally tuned DCF (nearly constant in k).
+  std::vector<double> optimal_rate_table(int max_stations) const;
+
+  /// The same tables wrapped as game rate functions (monotonized; see
+  /// TabulatedRate — the optimal curve is constant-like but not exactly
+  /// monotone, which the wrapper absorbs).
+  std::shared_ptr<const RateFunction> make_practical_rate(
+      int max_stations) const;
+  std::shared_ptr<const RateFunction> make_optimal_rate(
+      int max_stations) const;
+
+ private:
+  double solve_tau(int stations, int* iterations) const;
+  DcfModelResult evaluate(int stations, double tau, int iterations) const;
+
+  DcfParameters params_;
+};
+
+}  // namespace mrca

@@ -1,0 +1,48 @@
+#include "mac/dcf_parameters.h"
+
+#include <stdexcept>
+
+namespace mrca {
+
+void DcfParameters::validate() const {
+  if (bitrate_bps <= 0) {
+    throw std::invalid_argument("DcfParameters: bitrate must be positive");
+  }
+  if (slot_time_s <= 0 || sifs_s <= 0 || difs_s <= 0) {
+    throw std::invalid_argument("DcfParameters: timing must be positive");
+  }
+  if (difs_s < sifs_s) {
+    throw std::invalid_argument("DcfParameters: DIFS must be >= SIFS");
+  }
+  if (prop_delay_s < 0) {
+    throw std::invalid_argument("DcfParameters: negative propagation delay");
+  }
+  if (payload_bits <= 0 || mac_header_bits < 0 || phy_header_bits < 0 ||
+      ack_bits <= 0 || rts_bits <= 0 || cts_bits <= 0) {
+    throw std::invalid_argument("DcfParameters: bad frame sizes");
+  }
+  if (cw_min < 2) {
+    throw std::invalid_argument("DcfParameters: cw_min must be >= 2");
+  }
+  if (max_backoff_stage < 0 || max_backoff_stage > 16) {
+    throw std::invalid_argument("DcfParameters: bad max_backoff_stage");
+  }
+}
+
+DcfParameters DcfParameters::dsss_11mbps() {
+  DcfParameters params;
+  params.bitrate_bps = 11e6;
+  params.slot_time_s = 20e-6;
+  params.sifs_s = 10e-6;
+  params.difs_s = 50e-6;
+  params.prop_delay_s = 1e-6;
+  params.payload_bits = 8184;
+  params.mac_header_bits = 272;
+  params.phy_header_bits = 192;  // long PLCP preamble+header at 1 Mbit/s: 192us
+  params.ack_bits = 112;
+  params.cw_min = 32;
+  params.max_backoff_stage = 5;
+  return params;
+}
+
+}  // namespace mrca

@@ -1,0 +1,87 @@
+// IEEE 802.11 DCF timing and framing parameters, shared between the Bianchi
+// analytical model (mac/bianchi.h) and the discrete-event simulator
+// (sim/mac_dcf.h).
+//
+// Defaults reproduce the FHSS PHY configuration of Bianchi, "Performance
+// Analysis of the IEEE 802.11 Distributed Coordination Function", JSAC 2000
+// — the exact model the paper's Figure 3 cites for its CSMA/CA curves.
+#pragma once
+
+namespace mrca {
+
+/// Channel access mechanism: plain data frames (basic) or the four-way
+/// RTS/CTS handshake that shortens collisions to the RTS duration.
+enum class DcfAccessMode { kBasic, kRtsCts };
+
+struct DcfParameters {
+  // PHY.
+  double bitrate_bps = 1e6;      ///< channel bit rate
+  double slot_time_s = 50e-6;    ///< idle slot sigma
+  double sifs_s = 28e-6;
+  double difs_s = 128e-6;
+  double prop_delay_s = 1e-6;    ///< one-way propagation delay
+
+  // Framing (bits). Payload is fixed-size (saturation analysis).
+  int payload_bits = 8184;
+  int mac_header_bits = 272;
+  int phy_header_bits = 128;
+  int ack_bits = 112;  ///< ACK MAC part; a PHY header is prepended on air
+  int rts_bits = 160;  ///< RTS MAC part (Bianchi's value)
+  int cts_bits = 112;  ///< CTS MAC part
+
+  // Backoff: CW starts at cw_min and doubles per retry up to
+  // cw_min * 2^max_backoff_stage (Bianchi's W and m).
+  int cw_min = 32;
+  int max_backoff_stage = 5;
+
+  DcfAccessMode access_mode = DcfAccessMode::kBasic;
+
+  /// Header transmission time H = (PHY + MAC headers) / bitrate.
+  double header_time_s() const noexcept {
+    return static_cast<double>(phy_header_bits + mac_header_bits) /
+           bitrate_bps;
+  }
+  double payload_time_s() const noexcept {
+    return static_cast<double>(payload_bits) / bitrate_bps;
+  }
+  double ack_time_s() const noexcept {
+    return static_cast<double>(ack_bits + phy_header_bits) / bitrate_bps;
+  }
+  double rts_time_s() const noexcept {
+    return static_cast<double>(rts_bits + phy_header_bits) / bitrate_bps;
+  }
+  double cts_time_s() const noexcept {
+    return static_cast<double>(cts_bits + phy_header_bits) / bitrate_bps;
+  }
+
+  /// T_s: channel busy time of one successful exchange (Bianchi eq. (14)
+  /// basic / eq. (17) RTS-CTS).
+  double success_time_s() const noexcept {
+    const double data_part = header_time_s() + payload_time_s() + sifs_s +
+                             prop_delay_s + ack_time_s() + difs_s +
+                             prop_delay_s;
+    if (access_mode == DcfAccessMode::kBasic) return data_part;
+    return rts_time_s() + sifs_s + prop_delay_s + cts_time_s() + sifs_s +
+           prop_delay_s + data_part;
+  }
+
+  /// T_c: channel busy time of a collision. Basic access loses the whole
+  /// frame (H + payload + DIFS + delta); RTS/CTS loses only the RTS.
+  double collision_time_s() const noexcept {
+    if (access_mode == DcfAccessMode::kBasic) {
+      return header_time_s() + payload_time_s() + difs_s + prop_delay_s;
+    }
+    return rts_time_s() + difs_s + prop_delay_s;
+  }
+
+  /// Validates physical sanity; throws std::invalid_argument on nonsense.
+  void validate() const;
+
+  /// Bianchi's FHSS parameter set (the defaults above).
+  static DcfParameters bianchi_fhss() { return {}; }
+
+  /// 802.11b DSSS long-preamble parameters at 11 Mbit/s.
+  static DcfParameters dsss_11mbps();
+};
+
+}  // namespace mrca

@@ -1,0 +1,34 @@
+#include "mac/tdma.h"
+
+#include <stdexcept>
+
+namespace mrca {
+
+TdmaModel::TdmaModel(TdmaParameters params) : params_(params) {
+  if (params_.bitrate_bps <= 0) {
+    throw std::invalid_argument("TdmaModel: bitrate must be positive");
+  }
+  if (params_.slot_duration_s <= 0) {
+    throw std::invalid_argument("TdmaModel: slot duration must be positive");
+  }
+  if (params_.guard_time_s < 0) {
+    throw std::invalid_argument("TdmaModel: guard time must be >= 0");
+  }
+}
+
+double TdmaModel::total_rate_bps(int stations) const {
+  if (stations < 1) {
+    throw std::invalid_argument("TdmaModel: stations must be >= 1");
+  }
+  return params_.bitrate_bps * params_.efficiency();
+}
+
+double TdmaModel::per_station_rate_bps(int stations) const {
+  return total_rate_bps(stations) / stations;
+}
+
+std::shared_ptr<const RateFunction> TdmaModel::make_rate() const {
+  return std::make_shared<ConstantRate>(total_rate_bps(1) / 1e6);
+}
+
+}  // namespace mrca

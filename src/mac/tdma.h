@@ -1,0 +1,48 @@
+// Reservation-based TDMA on a single channel.
+//
+// The paper's fair-sharing assumption (§2): a reservation TDMA schedule
+// splits a channel's airtime equally among the radios on it, and the TOTAL
+// rate R(k_c) is independent of k_c. This model adds the one real-world
+// caveat: per-slot guard/preamble overhead, which costs a fixed fraction of
+// airtime independent of the number of stations (slots are time-shared, so
+// the overhead fraction does not grow with k). R(k) stays constant in k.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rate_function.h"
+
+namespace mrca {
+
+struct TdmaParameters {
+  double bitrate_bps = 1e6;
+  double slot_duration_s = 10e-3;  ///< payload portion of a slot
+  double guard_time_s = 100e-6;    ///< guard + sync preamble per slot
+
+  double efficiency() const noexcept {
+    return slot_duration_s / (slot_duration_s + guard_time_s);
+  }
+};
+
+class TdmaModel {
+ public:
+  explicit TdmaModel(TdmaParameters params);
+
+  const TdmaParameters& parameters() const noexcept { return params_; }
+
+  /// Total channel rate with k stations: bitrate * efficiency, constant
+  /// for every k >= 1.
+  double total_rate_bps(int stations) const;
+
+  /// Equal share per station: total / k.
+  double per_station_rate_bps(int stations) const;
+
+  /// Constant R(k) in Mbit/s for the game.
+  std::shared_ptr<const RateFunction> make_rate() const;
+
+ private:
+  TdmaParameters params_;
+};
+
+}  // namespace mrca

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace mrca::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> handler) {
+  const EventId id = next_id_++;
+  handlers_.emplace(id, std::move(handler));
+  heap_.push(Entry{when, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Lazy deletion: the heap entry stays and is skipped when popped.
+  const bool erased = handlers_.erase(id) > 0;
+  if (erased) --live_count_;
+  return erased;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !handlers_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time: queue is empty");
+  }
+  return heap_.top().time;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::run_next: queue is empty");
+  }
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto node = handlers_.extract(entry.id);
+  --live_count_;
+  node.mapped()();
+  return entry.time;
+}
+
+}  // namespace mrca::sim

@@ -1,0 +1,61 @@
+// Cancellable discrete-event queue with deterministic ordering.
+//
+// Events at equal timestamps fire in scheduling order (FIFO by sequence
+// number), which the MAC layer relies on: a frame's end-of-transmission
+// event is always scheduled before any same-tick transmission start, so
+// back-to-back airtime does not read as a collision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace mrca::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `handler` at absolute time `when`; returns a cancellable id.
+  EventId schedule(SimTime when, std::function<void()> handler);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid id is
+  /// a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return live_count_ == 0; }
+  std::size_t size() const noexcept { return live_count_; }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  /// Queue must be non-empty.
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace mrca::sim

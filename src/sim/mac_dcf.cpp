@@ -1,0 +1,305 @@
+#include "sim/mac_dcf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrca::sim {
+
+DcfStation::DcfStation(Simulator& simulator, Medium& medium,
+                       const DcfParameters& params, Rng rng,
+                       TrafficOptions traffic)
+    : simulator_(simulator),
+      medium_(medium),
+      params_(params),
+      rng_(rng),
+      traffic_(traffic) {
+  params_.validate();
+  if (!traffic_.saturated && traffic_.arrival_rate_fps <= 0.0) {
+    throw std::invalid_argument(
+        "DcfStation: unsaturated mode needs a positive arrival rate");
+  }
+  if (!traffic_.saturated && traffic_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "DcfStation: queue capacity must be positive");
+  }
+  difs_ = from_seconds(params_.difs_s);
+  sifs_ = from_seconds(params_.sifs_s);
+  slot_ = from_seconds(params_.slot_time_s);
+  prop_ = from_seconds(params_.prop_delay_s);
+  // Data airtime includes the propagation tail so a collision occupies
+  // exactly Bianchi's T_c = H + P + delta before the DIFS resume.
+  data_duration_ =
+      from_seconds(params_.header_time_s() + params_.payload_time_s()) + prop_;
+  ack_duration_ = from_seconds(params_.ack_time_s()) + prop_;
+  rts_duration_ = from_seconds(params_.rts_time_s()) + prop_;
+  cts_duration_ = from_seconds(params_.cts_time_s()) + prop_;
+  medium_.attach(this);
+}
+
+void DcfStation::start() {
+  if (!medium_.is_idle()) {
+    throw std::logic_error("DcfStation::start: medium must be idle");
+  }
+  draw_backoff();
+  if (traffic_.saturated) {
+    schedule_pending(difs_, /*is_difs=*/true);
+  } else {
+    schedule_next_arrival();
+  }
+}
+
+void DcfStation::schedule_next_arrival() {
+  const double gap_s = rng_.exponential(traffic_.arrival_rate_fps);
+  simulator_.schedule_in(from_seconds(gap_s), [this] { on_arrival(); });
+}
+
+void DcfStation::on_arrival() {
+  ++stats_.arrivals;
+  if (trace_recorder_) {
+    trace_recorder_->record(simulator_.now(), TraceEventKind::kFrameArrival,
+                            trace_id_);
+  }
+  if (queue_.size() >= traffic_.queue_capacity) {
+    ++stats_.drops;
+    if (trace_recorder_) {
+      trace_recorder_->record(simulator_.now(), TraceEventKind::kFrameDropped,
+                              trace_id_);
+    }
+  } else {
+    queue_.push_back(simulator_.now());
+    // A frame arriving to an idle station (re)starts contention; an armed
+    // or frozen or transmitting station just grows its queue.
+    if (queue_.size() == 1 && !transmitting_ &&
+        pending_event_ == kInvalidEvent && !medium_busy_) {
+      schedule_pending(difs_, /*is_difs=*/true);
+    }
+  }
+  schedule_next_arrival();
+}
+
+void DcfStation::arm_if_ready() {
+  if (has_traffic()) {
+    schedule_pending(difs_, /*is_difs=*/true);
+    if (trace_recorder_) {
+      trace_recorder_->record(simulator_.now(),
+                              TraceEventKind::kBackoffResumed, trace_id_);
+    }
+  }
+}
+
+int DcfStation::contention_window() const {
+  const int stage = std::min(backoff_stage_, params_.max_backoff_stage);
+  return params_.cw_min << stage;
+}
+
+void DcfStation::draw_backoff() {
+  backoff_counter_ =
+      static_cast<int>(rng_.uniform_int(0, contention_window() - 1));
+}
+
+void DcfStation::cancel_pending() {
+  if (pending_event_ != kInvalidEvent) {
+    simulator_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+}
+
+void DcfStation::schedule_pending(SimTime delay, bool is_difs) {
+  cancel_pending();
+  pending_time_ = simulator_.now() + delay;
+  pending_event_ = simulator_.schedule_at(pending_time_, [this, is_difs] {
+    pending_event_ = kInvalidEvent;
+    if (is_difs) {
+      difs_elapsed();
+    } else {
+      slot_elapsed();
+    }
+  });
+}
+
+void DcfStation::on_busy_start() {
+  medium_busy_ = true;
+  // Drop countdown events strictly in the future; an event at exactly this
+  // tick represents the slot boundary that just completed while the medium
+  // was still idle, and must still fire (simultaneous expiry = collision).
+  if (pending_event_ != kInvalidEvent && pending_time_ > simulator_.now()) {
+    cancel_pending();
+    if (trace_recorder_ && !transmitting_) {
+      trace_recorder_->record(simulator_.now(),
+                              TraceEventKind::kBackoffFrozen, trace_id_);
+    }
+  }
+}
+
+void DcfStation::on_idle_start() {
+  medium_busy_ = false;
+  if (transmitting_) return;  // own outcome handling re-arms us
+  arm_if_ready();
+}
+
+void DcfStation::difs_elapsed() {
+  if (backoff_counter_ == 0) {
+    begin_transmission();
+    return;
+  }
+  if (!medium_busy_) {
+    schedule_pending(slot_, /*is_difs=*/false);
+  }
+}
+
+void DcfStation::slot_elapsed() {
+  --backoff_counter_;
+  if (backoff_counter_ == 0) {
+    begin_transmission();
+    return;
+  }
+  if (!medium_busy_) {
+    schedule_pending(slot_, /*is_difs=*/false);
+  }
+}
+
+void DcfStation::begin_transmission() {
+  cancel_pending();
+  transmitting_ = true;
+  ++stats_.attempts;
+  if (trace_recorder_) {
+    trace_recorder_->record(simulator_.now(), TraceEventKind::kTxStart,
+                            trace_id_);
+  }
+  // Basic access contends with the whole data frame; RTS/CTS contends with
+  // the short RTS and reserves the medium for the rest of the exchange.
+  medium_.start_transmission(this,
+                             params_.access_mode == DcfAccessMode::kBasic
+                                 ? data_duration_
+                                 : rts_duration_);
+}
+
+void DcfStation::on_transmission_end(bool success) {
+  transmitting_ = false;
+  if (trace_recorder_) {
+    trace_recorder_->record(simulator_.now(),
+                            success ? TraceEventKind::kTxEndSuccess
+                                    : TraceEventKind::kTxEndCollision,
+                            trace_id_);
+  }
+  if (success) {
+    ++stats_.successes;
+    stats_.payload_bits += static_cast<std::uint64_t>(params_.payload_bits);
+    backoff_stage_ = 0;
+    if (!traffic_.saturated) {
+      // Frame delivered: record its sojourn time and dequeue.
+      stats_.delay_s.add(to_seconds(simulator_.now() - queue_.front()));
+      queue_.pop_front();
+    }
+    Medium& medium = medium_;
+    if (params_.access_mode == DcfAccessMode::kBasic) {
+      // The receiver's ACK: a system transmission SIFS after the data.
+      const SimTime ack_duration = ack_duration_;
+      simulator_.schedule_in(sifs_, [&medium, ack_duration] {
+        medium.start_transmission(nullptr, ack_duration);
+      });
+    } else {
+      // Winning RTS reserves the channel: CTS, DATA and ACK follow as
+      // system transmissions, each one SIFS after the previous segment.
+      // (SIFS < DIFS, so no contender can seize the gaps.)
+      const SimTime cts_at = sifs_;
+      const SimTime data_at = cts_at + cts_duration_ + sifs_;
+      const SimTime ack_at = data_at + data_duration_ + sifs_;
+      const SimTime cts_duration = cts_duration_;
+      const SimTime data_duration = data_duration_;
+      const SimTime ack_duration = ack_duration_;
+      simulator_.schedule_in(cts_at, [&medium, cts_duration] {
+        medium.start_transmission(nullptr, cts_duration);
+      });
+      simulator_.schedule_in(data_at, [&medium, data_duration] {
+        medium.start_transmission(nullptr, data_duration);
+      });
+      simulator_.schedule_in(ack_at, [&medium, ack_duration] {
+        medium.start_transmission(nullptr, ack_duration);
+      });
+    }
+  } else {
+    ++stats_.collisions;
+    backoff_stage_ = std::min(backoff_stage_ + 1, params_.max_backoff_stage);
+  }
+  draw_backoff();
+  // If the medium is already idle (this was the last frame in the burst),
+  // the medium's idle notification that follows this callback re-arms the
+  // DIFS wait; otherwise the next on_idle_start does. An unsaturated
+  // station with an empty queue stays quiet until the next arrival.
+  if (medium_.is_idle()) {
+    arm_if_ready();
+  }
+}
+
+DcfChannelSim::DcfChannelSim(const DcfParameters& params, int stations,
+                             std::uint64_t seed, TrafficOptions traffic)
+    : params_(params), medium_(std::make_unique<Medium>(simulator_)) {
+  if (stations < 1) {
+    throw std::invalid_argument("DcfChannelSim: need at least one station");
+  }
+  Rng master(seed);
+  stations_.reserve(static_cast<std::size_t>(stations));
+  for (int s = 0; s < stations; ++s) {
+    stations_.push_back(std::make_unique<DcfStation>(
+        simulator_, *medium_, params_, master.split(), traffic));
+  }
+  for (const auto& station : stations_) station->start();
+}
+
+void DcfChannelSim::attach_trace(TraceRecorder& trace) {
+  medium_->set_trace(&trace);
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    stations_[s]->set_trace(&trace, static_cast<int>(s));
+  }
+}
+
+void DcfChannelSim::run(double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("DcfChannelSim::run: negative duration");
+  }
+  simulator_.run_until(simulator_.now() + from_seconds(seconds));
+}
+
+const StationStats& DcfChannelSim::station_stats(int station) const {
+  return stations_.at(static_cast<std::size_t>(station))->stats();
+}
+
+double DcfChannelSim::elapsed_seconds() const {
+  return to_seconds(simulator_.now());
+}
+
+double DcfChannelSim::total_throughput_bps() const {
+  double total = 0.0;
+  for (const auto& station : stations_) {
+    total += station->stats().throughput_bps(elapsed_seconds());
+  }
+  return total;
+}
+
+std::vector<double> DcfChannelSim::per_station_throughput_bps() const {
+  std::vector<double> result;
+  result.reserve(stations_.size());
+  for (const auto& station : stations_) {
+    result.push_back(station->stats().throughput_bps(elapsed_seconds()));
+  }
+  return result;
+}
+
+double DcfChannelSim::collision_probability() const {
+  std::uint64_t attempts = 0;
+  std::uint64_t collisions = 0;
+  for (const auto& station : stations_) {
+    attempts += station->stats().attempts;
+    collisions += station->stats().collisions;
+  }
+  return attempts > 0
+             ? static_cast<double>(collisions) / static_cast<double>(attempts)
+             : 0.0;
+}
+
+double DcfChannelSim::medium_busy_fraction() const {
+  return medium_->busy_fraction(simulator_.now());
+}
+
+}  // namespace mrca::sim

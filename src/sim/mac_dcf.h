@@ -1,0 +1,180 @@
+// Event-driven IEEE 802.11 DCF (CSMA/CA, basic access) on one channel —
+// the "practical CSMA/CA" of the paper's Figure 3, simulated rather than
+// modelled.
+//
+// Station behavior (saturated, i.e. always backlogged):
+//   - after the medium has been idle for DIFS, the backoff counter
+//     decrements once per idle slot; it freezes while the medium is busy;
+//   - at counter zero the station transmits the whole frame; simultaneous
+//     expiries at the same slot boundary collide (exact integer timestamps);
+//   - on success (no overlap), the receiver's ACK is modelled as a system
+//     transmission SIFS after the data frame, and the contention window
+//     resets to CW_min;
+//   - on collision the window doubles, up to CW_min * 2^max_backoff_stage
+//     (binary exponential backoff, Bianchi's W and m).
+//
+// Validation: bench_sim_validation and the test suite compare the measured
+// saturation throughput and collision probability against the Bianchi
+// fixed-point model for the same parameters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mac/dcf_parameters.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace mrca::sim {
+
+struct StationStats {
+  std::uint64_t attempts = 0;    ///< frames put on the air
+  std::uint64_t successes = 0;   ///< frames acknowledged
+  std::uint64_t collisions = 0;  ///< frames lost to overlap
+  std::uint64_t payload_bits = 0;
+  std::uint64_t arrivals = 0;    ///< frames offered (unsaturated mode)
+  std::uint64_t drops = 0;       ///< frames lost to queue overflow
+  /// Sojourn time (enqueue -> delivery) in seconds, unsaturated mode only.
+  RunningStats delay_s;
+
+  double throughput_bps(double duration_s) const {
+    return duration_s > 0.0
+               ? static_cast<double>(payload_bits) / duration_s
+               : 0.0;
+  }
+  /// Empirical conditional collision probability (per attempt).
+  double collision_probability() const {
+    return attempts > 0
+               ? static_cast<double>(collisions) /
+                     static_cast<double>(attempts)
+               : 0.0;
+  }
+  double drop_fraction() const {
+    return arrivals > 0
+               ? static_cast<double>(drops) / static_cast<double>(arrivals)
+               : 0.0;
+  }
+};
+
+/// Traffic configuration for one station.
+struct TrafficOptions {
+  /// Saturated (always backlogged, Bianchi's regime) when true; otherwise
+  /// frames arrive as a Poisson process and queue.
+  bool saturated = true;
+  /// Mean arrivals per second (unsaturated mode).
+  double arrival_rate_fps = 0.0;
+  /// Maximum queued frames before tail drop (unsaturated mode).
+  std::size_t queue_capacity = 200;
+};
+
+class DcfStation final : public MediumListener, public TxListener {
+ public:
+  DcfStation(Simulator& simulator, Medium& medium,
+             const DcfParameters& params, Rng rng,
+             TrafficOptions traffic = {});
+
+  DcfStation(const DcfStation&) = delete;
+  DcfStation& operator=(const DcfStation&) = delete;
+
+  /// Arms the station at the current simulation time (medium must be idle).
+  void start();
+
+  /// Optional event tracing; `station_id` labels this station's events.
+  void set_trace(TraceRecorder* trace, int station_id) noexcept {
+    trace_recorder_ = trace;
+    trace_id_ = station_id;
+  }
+
+  const StationStats& stats() const noexcept { return stats_; }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  // MediumListener:
+  void on_busy_start() override;
+  void on_idle_start() override;
+  // TxListener:
+  void on_transmission_end(bool success) override;
+
+ private:
+  bool has_traffic() const noexcept {
+    return traffic_.saturated || !queue_.empty();
+  }
+  void schedule_next_arrival();
+  void on_arrival();
+  void arm_if_ready();
+  void difs_elapsed();
+  void slot_elapsed();
+  void begin_transmission();
+  void draw_backoff();
+  int contention_window() const;
+  void cancel_pending();
+  void schedule_pending(SimTime delay, bool is_difs);
+
+  Simulator& simulator_;
+  Medium& medium_;
+  DcfParameters params_;
+  Rng rng_;
+
+  // Precomputed durations (ns).
+  SimTime difs_ = 0;
+  SimTime sifs_ = 0;
+  SimTime slot_ = 0;
+  SimTime prop_ = 0;
+  SimTime data_duration_ = 0;
+  SimTime ack_duration_ = 0;
+  SimTime rts_duration_ = 0;
+  SimTime cts_duration_ = 0;
+
+  int backoff_counter_ = 0;
+  int backoff_stage_ = 0;
+  bool medium_busy_ = false;
+  bool transmitting_ = false;
+
+  EventId pending_event_ = kInvalidEvent;
+  SimTime pending_time_ = 0;
+
+  TrafficOptions traffic_;
+  std::deque<SimTime> queue_;  ///< enqueue timestamps (unsaturated mode)
+
+  TraceRecorder* trace_recorder_ = nullptr;
+  int trace_id_ = -1;
+
+  StationStats stats_;
+};
+
+/// One channel with `stations` DCF stations (saturated by default; pass
+/// TrafficOptions for Poisson offered load).
+class DcfChannelSim {
+ public:
+  DcfChannelSim(const DcfParameters& params, int stations,
+                std::uint64_t seed, TrafficOptions traffic = {});
+
+  /// Runs the channel for `seconds` of simulated time (resumable).
+  void run(double seconds);
+
+  /// Wires a trace recorder into the medium and every station.
+  void attach_trace(TraceRecorder& trace);
+
+  int num_stations() const noexcept { return static_cast<int>(stations_.size()); }
+  const StationStats& station_stats(int station) const;
+  double elapsed_seconds() const;
+
+  /// Sum of per-station payload throughputs, bit/s.
+  double total_throughput_bps() const;
+  /// Per-station throughputs (for fairness analysis).
+  std::vector<double> per_station_throughput_bps() const;
+  /// Attempt-weighted empirical collision probability.
+  double collision_probability() const;
+  double medium_busy_fraction() const;
+
+ private:
+  DcfParameters params_;
+  Simulator simulator_;
+  std::unique_ptr<Medium> medium_;
+  std::vector<std::unique_ptr<DcfStation>> stations_;
+};
+
+}  // namespace mrca::sim

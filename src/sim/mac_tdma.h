@@ -1,0 +1,40 @@
+// Event-driven reservation TDMA on one channel: a rotating schedule of
+// equal slots, one station transmitting per slot, no contention and no
+// collisions — the paper's idealized fair-sharing MAC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/tdma.h"
+#include "sim/simulator.h"
+
+namespace mrca::sim {
+
+class TdmaChannelSim {
+ public:
+  TdmaChannelSim(const TdmaParameters& params, int stations);
+
+  /// Runs the schedule for `seconds` of simulated time (resumable).
+  void run(double seconds);
+
+  int num_stations() const noexcept {
+    return static_cast<int>(payload_bits_.size());
+  }
+  double elapsed_seconds() const;
+  double station_throughput_bps(int station) const;
+  std::vector<double> per_station_throughput_bps() const;
+  double total_throughput_bps() const;
+
+ private:
+  void slot_begin(int station);
+
+  TdmaParameters params_;
+  Simulator simulator_;
+  std::vector<std::uint64_t> payload_bits_;
+  SimTime slot_payload_ = 0;
+  SimTime slot_guard_ = 0;
+  std::uint64_t bits_per_slot_ = 0;
+};
+
+}  // namespace mrca::sim

@@ -1,0 +1,87 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+#include "sim/mac_dcf.h"
+#include "sim/mac_tdma.h"
+
+namespace mrca::sim {
+
+using mrca::ChannelId;
+using mrca::RadioCount;
+using mrca::UserId;
+
+NetworkResult simulate_network(const StrategyMatrix& strategies,
+                               const NetworkOptions& options) {
+  if (options.duration_s <= 0.0) {
+    throw std::invalid_argument("simulate_network: duration must be > 0");
+  }
+  NetworkResult result;
+  result.duration_s = options.duration_s;
+  result.per_user_bps.assign(strategies.num_users(), 0.0);
+  result.per_channel_bps.assign(strategies.num_channels(), 0.0);
+
+  for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
+    const RadioCount load = strategies.channel_load(c);
+    if (load == 0) continue;
+
+    // Station s belongs to owner[s]; owners appear once per radio.
+    std::vector<UserId> owner;
+    owner.reserve(static_cast<std::size_t>(load));
+    for (UserId i = 0; i < strategies.num_users(); ++i) {
+      for (RadioCount r = 0; r < strategies.at(i, c); ++r) {
+        owner.push_back(i);
+      }
+    }
+
+    std::vector<double> per_station;
+    switch (options.mac) {
+      case MacKind::kDcf: {
+        DcfChannelSim channel(options.dcf, load,
+                              options.seed + 0x9e3779b9u * (c + 1));
+        channel.run(options.duration_s);
+        per_station = channel.per_station_throughput_bps();
+        break;
+      }
+      case MacKind::kTdma: {
+        TdmaChannelSim channel(options.tdma, load);
+        channel.run(options.duration_s);
+        per_station = channel.per_station_throughput_bps();
+        break;
+      }
+    }
+
+    for (std::size_t s = 0; s < owner.size(); ++s) {
+      result.per_user_bps[owner[s]] += per_station[s];
+      result.per_channel_bps[c] += per_station[s];
+    }
+  }
+  return result;
+}
+
+std::vector<double> measure_dcf_rate_table(const DcfParameters& params,
+                                           int max_stations,
+                                           double seconds_per_point,
+                                           std::uint64_t seed) {
+  if (max_stations < 1) {
+    throw std::invalid_argument("measure_dcf_rate_table: max_stations >= 1");
+  }
+  std::vector<double> table;
+  table.reserve(static_cast<std::size_t>(max_stations));
+  for (int k = 1; k <= max_stations; ++k) {
+    DcfChannelSim channel(params, k, seed + static_cast<std::uint64_t>(k));
+    channel.run(seconds_per_point);
+    table.push_back(channel.total_throughput_bps() / 1e6);
+  }
+  return table;
+}
+
+std::shared_ptr<const mrca::RateFunction> measured_dcf_rate(
+    const DcfParameters& params, int max_stations, double seconds_per_point,
+    std::uint64_t seed) {
+  return std::make_shared<mrca::TabulatedRate>(
+      measure_dcf_rate_table(params, max_stations, seconds_per_point, seed),
+      "DCF(measured)", params.bitrate_bps / 1e6);
+}
+
+}  // namespace mrca::sim

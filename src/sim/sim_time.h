@@ -1,0 +1,30 @@
+// Simulation time base: signed 64-bit integer nanoseconds.
+//
+// Integer time makes event ordering exact and reproducible: two stations
+// whose backoff counters expire on the same 802.11 slot boundary collide at
+// the *same* tick, with no floating-point drift deciding the outcome.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mrca::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+/// Converts seconds (double) to integer nanoseconds, rounding to nearest.
+inline SimTime from_seconds(double seconds) {
+  return static_cast<SimTime>(std::llround(seconds * 1e9));
+}
+
+inline double to_seconds(SimTime time) {
+  return static_cast<double>(time) / 1e9;
+}
+
+inline SimTime from_micros(double micros) {
+  return static_cast<SimTime>(std::llround(micros * 1e3));
+}
+
+}  // namespace mrca::sim

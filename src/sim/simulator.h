@@ -1,0 +1,40 @@
+// Simulation kernel: a clock plus the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+
+namespace mrca::sim {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules at an absolute time (must be >= now).
+  EventId schedule_at(SimTime when, std::function<void()> handler);
+
+  /// Schedules `delay` ns from now (delay >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> handler);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs every event with timestamp <= end, then advances the clock to
+  /// exactly `end` (even if idle). Returns events processed.
+  std::size_t run_until(SimTime end);
+
+  /// Runs until the queue is empty.
+  std::size_t run_all();
+
+  std::size_t events_processed() const noexcept { return processed_; }
+  bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace mrca::sim

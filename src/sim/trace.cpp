@@ -1,0 +1,78 @@
+#include "sim/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace mrca::sim {
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTxStart:
+      return "TX_START";
+    case TraceEventKind::kTxEndSuccess:
+      return "TX_OK";
+    case TraceEventKind::kTxEndCollision:
+      return "TX_COLLIDED";
+    case TraceEventKind::kMediumBusy:
+      return "MEDIUM_BUSY";
+    case TraceEventKind::kMediumIdle:
+      return "MEDIUM_IDLE";
+    case TraceEventKind::kBackoffFrozen:
+      return "BACKOFF_FREEZE";
+    case TraceEventKind::kBackoffResumed:
+      return "BACKOFF_RESUME";
+    case TraceEventKind::kFrameArrival:
+      return "ARRIVAL";
+    case TraceEventKind::kFrameDropped:
+      return "DROP";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events) {
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+void TraceRecorder::record(SimTime time, TraceEventKind kind, int station) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{time, kind, station});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::filter(TraceEventKind kind) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) result.push_back(event);
+  }
+  return result;
+}
+
+std::vector<TraceEvent> TraceRecorder::filter_station(int station) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_) {
+    if (event.station == station) result.push_back(event);
+  }
+  return result;
+}
+
+std::string TraceRecorder::to_text() const {
+  std::ostringstream out;
+  for (const TraceEvent& event : events_) {
+    out << event.time << ' ' << trace_event_name(event.kind);
+    if (event.station >= 0) out << " stn=" << event.station;
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TraceRecorder::print(std::ostream& os) const { os << to_text(); }
+
+}  // namespace mrca::sim

@@ -1,0 +1,145 @@
+#include "core/ext/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/alloc/random_alloc.h"
+#include "core/alloc/sequential.h"
+#include "core/analysis/nash.h"
+#include "test_util.h"
+
+namespace mrca {
+namespace {
+
+using testing::constant_game;
+
+TEST(EnergyAware, RejectsNegativeCost) {
+  EXPECT_THROW(EnergyAwareGame(constant_game(2, 3, 2), -0.1),
+               std::invalid_argument);
+}
+
+TEST(EnergyAware, ZeroCostReducesToPaperGame) {
+  const Game base = constant_game(4, 4, 2);
+  const EnergyAwareGame game(base, 0.0);
+  Rng rng(808);
+  for (int trial = 0; trial < 100; ++trial) {
+    const StrategyMatrix matrix = random_partial_allocation(base, rng);
+    for (UserId i = 0; i < 4; ++i) {
+      ASSERT_DOUBLE_EQ(game.utility(matrix, i), base.utility(matrix, i));
+    }
+    ASSERT_EQ(game.is_nash_equilibrium(matrix),
+              is_nash_equilibrium(base, matrix));
+  }
+}
+
+TEST(EnergyAware, UtilitySubtractsDeploymentCost) {
+  const Game base = constant_game(2, 3, 2);
+  const EnergyAwareGame game(base, 0.25);
+  auto matrix = base.empty_strategy();
+  matrix.add_radio(0, 0);
+  matrix.add_radio(0, 1);
+  EXPECT_NEAR(game.utility(matrix, 0), 2.0 - 0.5, 1e-12);
+  EXPECT_NEAR(game.utility(matrix, 1), 0.0, 1e-12);
+  EXPECT_NEAR(game.welfare(matrix), 2.0 - 0.5, 1e-12);
+}
+
+TEST(EnergyAware, BestResponseMatchesEnumeration) {
+  const Game base = constant_game(3, 4, 3);
+  Rng rng(909);
+  const auto all_rows = enumerate_strategy_rows(base.config());
+  for (const double cost : {0.0, 0.1, 0.4, 0.9}) {
+    const EnergyAwareGame game(base, cost);
+    for (int trial = 0; trial < 30; ++trial) {
+      const StrategyMatrix matrix = random_partial_allocation(base, rng);
+      for (UserId i = 0; i < 3; ++i) {
+        const BestResponse dp = game.best_response(matrix, i);
+        double best = -1e300;
+        for (const auto& row : all_rows) {
+          StrategyMatrix changed = matrix;
+          changed.set_row(i, row);
+          best = std::max(best, game.utility(changed, i));
+        }
+        ASSERT_NEAR(dp.utility, best, 1e-10)
+            << "cost " << cost << " state " << matrix.key();
+      }
+    }
+  }
+}
+
+TEST(EnergyAware, Lemma1SurvivesSmallCosts) {
+  // A tiny energy price does not change behavior: the marginal rate of a
+  // deployed radio on the least-loaded channel still beats the price, so
+  // equilibria deploy everything (Lemma 1 is robust).
+  const Game base = constant_game(3, 4, 2);
+  const EnergyAwareGame game(base, 0.05);
+  const auto outcome =
+      game.run_best_response_dynamics(base.empty_strategy());
+  ASSERT_TRUE(outcome.converged);
+  EXPECT_TRUE(outcome.final_state.all_radios_deployed());
+  EXPECT_TRUE(game.is_nash_equilibrium(outcome.final_state));
+}
+
+TEST(EnergyAware, HighCostShutsRadiosDown) {
+  // Price above the best attainable per-radio rate: deploying anything is
+  // a net loss; the empty allocation is the unique equilibrium behavior.
+  const Game base = constant_game(3, 3, 2);
+  const EnergyAwareGame game(base, 1.5);  // R(1) = 1 < 1.5
+  EXPECT_EQ(game.equilibrium_deployment(), 0);
+  EXPECT_TRUE(game.is_nash_equilibrium(base.empty_strategy()));
+}
+
+TEST(EnergyAware, Lemma1BreaksAtIntermediateCost) {
+  // The qualitative finding: there is a cost band where users deploy SOME
+  // but not ALL radios — the paper's Lemma 1 is a zero-cost artifact.
+  // N=3, k=2, C=3, constant R=1: full deployment (6 radios over 3
+  // channels) earns each marginal radio 1/2..1/3; cost 0.6 kills those
+  // marginal radios but keeps one radio per user profitable.
+  const Game base = constant_game(3, 3, 2);
+  const EnergyAwareGame game(base, 0.6);
+  const RadioCount deployed = game.equilibrium_deployment();
+  EXPECT_GT(deployed, 0);
+  EXPECT_LT(deployed, base.config().total_radios());
+}
+
+TEST(EnergyAware, DeploymentMonotoneInCost) {
+  const Game base = constant_game(4, 4, 3);
+  RadioCount previous = base.config().total_radios() + 1;
+  for (const double cost : {0.0, 0.2, 0.35, 0.6, 0.9, 1.2}) {
+    const EnergyAwareGame game(base, cost);
+    const RadioCount deployed = game.equilibrium_deployment();
+    EXPECT_LE(deployed, previous) << "cost " << cost;
+    previous = deployed;
+  }
+  EXPECT_EQ(previous, 0);  // the most expensive case shuts everything off
+}
+
+TEST(EnergyAware, DeployedRadiosStillLoadBalance) {
+  // Among the radios that remain on air, the load-balancing structure of
+  // the paper survives.
+  const Game base = constant_game(4, 4, 3);
+  const EnergyAwareGame game(base, 0.3);
+  const auto outcome = game.run_best_response_dynamics(base.empty_strategy());
+  ASSERT_TRUE(outcome.converged);
+  const auto& ne = outcome.final_state;
+  EXPECT_TRUE(game.is_nash_equilibrium(ne));
+  if (ne.total_deployed() >= static_cast<RadioCount>(ne.num_channels())) {
+    EXPECT_LE(ne.max_load() - ne.min_load(), 1);
+  }
+}
+
+TEST(EnergyAware, ConvergesFromRandomStarts) {
+  const Game base = constant_game(5, 4, 2);
+  Rng rng(7117);
+  for (const double cost : {0.1, 0.45, 0.8}) {
+    const EnergyAwareGame game(base, cost);
+    for (int trial = 0; trial < 10; ++trial) {
+      const StrategyMatrix start = random_full_allocation(base, rng);
+      const auto outcome = game.run_best_response_dynamics(start);
+      ASSERT_TRUE(outcome.converged);
+      EXPECT_TRUE(game.is_nash_equilibrium(outcome.final_state));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrca

@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrca::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_THROW(queue.next_time(), std::logic_error);
+  EXPECT_THROW(queue.run_next(), std::logic_error);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.run_next();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue queue;
+  queue.schedule(42, [] {});
+  EXPECT_EQ(queue.next_time(), 42);
+  EXPECT_EQ(queue.run_next(), 42);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(1, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(kInvalidEvent));
+  EXPECT_FALSE(queue.cancel(99999));
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1, [&] { order.push_back(1); });
+  const EventId id = queue.schedule(2, [&] { order.push_back(2); });
+  queue.schedule(3, [&] { order.push_back(3); });
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.run_next(), 1);
+  EXPECT_EQ(queue.next_time(), 3);
+  queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<SimTime> fired;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    fired.push_back(t);
+    if (t < 5) {
+      queue.schedule(t + 1, [&chain, t] { chain(t + 1); });
+    }
+  };
+  queue.schedule(1, [&chain] { chain(1); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(fired, (std::vector<SimTime>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, EventCanCancelAnotherEvent) {
+  EventQueue queue;
+  bool second_fired = false;
+  EventId second = kInvalidEvent;
+  second = queue.schedule(10, [&] { second_fired = true; });
+  queue.schedule(5, [&] { queue.cancel(second); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kNanosPerSecond);
+  EXPECT_EQ(from_seconds(50e-6), 50000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.125)), 0.125);
+  EXPECT_EQ(from_micros(20.0), 20000);
+}
+
+}  // namespace
+}  // namespace mrca::sim

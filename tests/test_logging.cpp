@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mrca {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Logging, MacroCompilesAndRespectsLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // Below-threshold messages are discarded without evaluating... the
+  // stream expression IS evaluated lazily only if level passes:
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  MRCA_LOG_DEBUG << touch();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  MRCA_LOG_DEBUG << touch();
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(captured.find("DEBUG"), std::string::npos);
+  set_log_level(original);
+}
+
+TEST(Logging, MessageContainsLevelTag) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kWarn, "careful");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[WARN] careful"), std::string::npos);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedBelowThreshold) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "quiet");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace mrca

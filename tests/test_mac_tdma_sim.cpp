@@ -1,0 +1,80 @@
+#include "sim/mac_tdma.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "mac/tdma.h"
+
+namespace mrca::sim {
+namespace {
+
+TEST(TdmaChannelSim, RejectsBadInputs) {
+  EXPECT_THROW(TdmaChannelSim(TdmaParameters{}, 0), std::invalid_argument);
+  TdmaChannelSim sim(TdmaParameters{}, 1);
+  EXPECT_THROW(sim.run(-0.5), std::invalid_argument);
+}
+
+TEST(TdmaChannelSim, TotalMatchesAnalyticalModel) {
+  const TdmaParameters params;
+  const TdmaModel model(params);
+  for (int k : {1, 2, 5}) {
+    TdmaChannelSim sim(params, k);
+    sim.run(60.0);
+    const double predicted = model.total_rate_bps(k);
+    EXPECT_NEAR(sim.total_throughput_bps(), predicted, 0.01 * predicted)
+        << "k=" << k;
+  }
+}
+
+TEST(TdmaChannelSim, TotalRateIndependentOfStations) {
+  // The defining property of the paper's constant-R MAC.
+  const TdmaParameters params;
+  TdmaChannelSim one(params, 1);
+  TdmaChannelSim many(params, 7);
+  one.run(60.0);
+  many.run(60.0);
+  EXPECT_NEAR(one.total_throughput_bps(), many.total_throughput_bps(),
+              0.01 * one.total_throughput_bps());
+}
+
+TEST(TdmaChannelSim, PerfectFairness) {
+  TdmaChannelSim sim(TdmaParameters{}, 5);
+  sim.run(60.0);
+  EXPECT_GT(jain_fairness(sim.per_station_throughput_bps()), 0.9999);
+}
+
+TEST(TdmaChannelSim, PerStationIsEqualSplit) {
+  const TdmaParameters params;
+  TdmaChannelSim sim(params, 4);
+  sim.run(60.0);
+  const double total = sim.total_throughput_bps();
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(sim.station_throughput_bps(s), total / 4.0, 0.02 * total);
+  }
+}
+
+TEST(TdmaChannelSim, IsDeterministic) {
+  TdmaChannelSim a(TdmaParameters{}, 3);
+  TdmaChannelSim b(TdmaParameters{}, 3);
+  a.run(10.0);
+  b.run(10.0);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(a.station_throughput_bps(s), b.station_throughput_bps(s));
+  }
+}
+
+TEST(TdmaChannelSim, GuardOverheadReducesThroughput) {
+  TdmaParameters lossless;
+  lossless.guard_time_s = 0.0;
+  TdmaParameters lossy;
+  lossy.guard_time_s = lossy.slot_duration_s;  // 50% overhead
+  TdmaChannelSim a(lossless, 2);
+  TdmaChannelSim b(lossy, 2);
+  a.run(60.0);
+  b.run(60.0);
+  EXPECT_NEAR(b.total_throughput_bps(), 0.5 * a.total_throughput_bps(),
+              0.02 * a.total_throughput_bps());
+}
+
+}  // namespace
+}  // namespace mrca::sim

@@ -1,0 +1,120 @@
+// Medium stress test: random transmission schedules checked against a
+// brute-force interval-overlap oracle computed independently.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/medium.h"
+#include "sim/simulator.h"
+
+namespace mrca::sim {
+namespace {
+
+struct PlannedTx {
+  SimTime start;
+  SimTime duration;
+  bool outcome_received = false;
+  bool success = false;
+};
+
+class Recorder final : public TxListener {
+ public:
+  explicit Recorder(PlannedTx* tx) : tx_(tx) {}
+  void on_transmission_end(bool success) override {
+    tx_->outcome_received = true;
+    tx_->success = success;
+  }
+
+ private:
+  PlannedTx* tx_;
+};
+
+/// Oracle: a transmission succeeds iff no other transmission's
+/// [start, start+duration) interval intersects its own with positive
+/// overlap. Back-to-back (end == start) is NOT an overlap.
+bool oracle_success(const std::vector<PlannedTx>& all, std::size_t self) {
+  const SimTime a0 = all[self].start;
+  const SimTime a1 = a0 + all[self].duration;
+  for (std::size_t other = 0; other < all.size(); ++other) {
+    if (other == self) continue;
+    const SimTime b0 = all[other].start;
+    const SimTime b1 = b0 + all[other].duration;
+    if (a0 < b1 && b0 < a1) return false;
+  }
+  return true;
+}
+
+TEST(MediumStress, RandomSchedulesMatchOverlapOracle) {
+  Rng rng(13371337);
+  for (int round = 0; round < 50; ++round) {
+    Simulator sim;
+    Medium medium(sim);
+    const int count = 2 + static_cast<int>(rng.uniform_int(0, 18));
+    std::vector<PlannedTx> plan(static_cast<std::size_t>(count));
+    std::vector<std::unique_ptr<Recorder>> recorders;
+    for (auto& tx : plan) {
+      tx.start = rng.uniform_int(0, 2000);
+      tx.duration = 1 + rng.uniform_int(0, 300);
+    }
+    for (auto& tx : plan) {
+      recorders.push_back(std::make_unique<Recorder>(&tx));
+      Recorder* recorder = recorders.back().get();
+      const SimTime duration = tx.duration;
+      sim.schedule_at(tx.start, [&medium, recorder, duration] {
+        medium.start_transmission(recorder, duration);
+      });
+    }
+    sim.run_all();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      ASSERT_TRUE(plan[i].outcome_received) << "round " << round;
+      ASSERT_EQ(plan[i].success, oracle_success(plan, i))
+          << "round " << round << " tx " << i << " [" << plan[i].start << ","
+          << plan[i].start + plan[i].duration << ")";
+    }
+  }
+}
+
+TEST(MediumStress, BusyFractionMatchesUnionOfIntervals) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    Simulator sim;
+    Medium medium(sim);
+    const int count = 1 + static_cast<int>(rng.uniform_int(0, 10));
+    std::vector<std::pair<SimTime, SimTime>> intervals;
+    for (int i = 0; i < count; ++i) {
+      const SimTime start = rng.uniform_int(0, 5'000'000);
+      const SimTime duration = 1'000 + rng.uniform_int(0, 1'000'000);
+      intervals.emplace_back(start, start + duration);
+      sim.schedule_at(start, [&medium, duration] {
+        medium.start_transmission(nullptr, duration);
+      });
+    }
+    const SimTime horizon = 10'000'000;
+    sim.run_until(horizon);
+
+    // Union length of the intervals (sweep).
+    std::sort(intervals.begin(), intervals.end());
+    SimTime covered = 0;
+    SimTime current_start = intervals.front().first;
+    SimTime current_end = intervals.front().second;
+    for (const auto& [s, e] : intervals) {
+      if (s > current_end) {
+        covered += current_end - current_start;
+        current_start = s;
+        current_end = e;
+      } else {
+        current_end = std::max(current_end, e);
+      }
+    }
+    covered += current_end - current_start;
+
+    const double expected =
+        static_cast<double>(covered) / static_cast<double>(horizon);
+    ASSERT_NEAR(medium.busy_fraction(sim.now()), expected, 1e-9)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mrca::sim

@@ -1,0 +1,139 @@
+#include "core/analysis/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alloc/sequential.h"
+#include "core/analysis/nash.h"
+#include "test_util.h"
+
+namespace mrca {
+namespace {
+
+using testing::constant_game;
+using testing::matrix_of;
+using testing::power_law_game;
+
+TEST(ParetoDominates, StrictImprovementForAll) {
+  const Game game = constant_game(2, 2, 1);
+  const auto crowded = matrix_of(game, {{1, 0}, {1, 0}});  // both on c0
+  const auto spread = matrix_of(game, {{1, 0}, {0, 1}});   // one each
+  EXPECT_TRUE(pareto_dominates(game, spread, crowded));
+  EXPECT_FALSE(pareto_dominates(game, crowded, spread));
+}
+
+TEST(ParetoDominates, NoDominanceOnPureTransfer) {
+  // Swapping who owns the good channel reverses winners: no dominance.
+  const Game game = constant_game(2, 2, 1);
+  const auto a = matrix_of(game, {{1, 0}, {1, 0}});
+  const auto b = matrix_of(game, {{0, 1}, {0, 1}});
+  EXPECT_FALSE(pareto_dominates(game, a, b));
+  EXPECT_FALSE(pareto_dominates(game, b, a));
+}
+
+TEST(ParetoDominates, SelfIsNotDominating) {
+  const Game game = constant_game(2, 2, 1);
+  const auto a = matrix_of(game, {{1, 0}, {0, 1}});
+  EXPECT_FALSE(pareto_dominates(game, a, a));
+}
+
+TEST(IsParetoOptimal, SpreadAllocationIsOptimal) {
+  const Game game = constant_game(2, 2, 1);
+  EXPECT_TRUE(is_pareto_optimal(game, matrix_of(game, {{1, 0}, {0, 1}})));
+}
+
+TEST(IsParetoOptimal, CrowdedAllocationIsNot) {
+  const Game game = constant_game(2, 2, 1);
+  const auto crowded = matrix_of(game, {{1, 0}, {1, 0}});
+  EXPECT_FALSE(is_pareto_optimal(game, crowded));
+  const auto dominator = find_pareto_dominator(game, crowded);
+  ASSERT_TRUE(dominator.has_value());
+  EXPECT_TRUE(pareto_dominates(game, *dominator, crowded));
+}
+
+TEST(WelfareCertificate, CertifiesMaximalWelfare) {
+  const Game game = constant_game(3, 2, 2);  // conflict regime
+  // Loads (3,3): welfare = 2 = |C| * R(1) = optimal.
+  const auto balanced =
+      matrix_of(game, {{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_TRUE(welfare_certifies_pareto(game, balanced));
+  // A certificate implies genuine Pareto optimality.
+  EXPECT_TRUE(is_pareto_optimal(game, balanced));
+}
+
+TEST(WelfareCertificate, RejectsWastefulAllocation) {
+  const Game game = constant_game(3, 2, 2);
+  const auto wasteful = matrix_of(game, {{2, 0}, {2, 0}, {2, 0}});
+  EXPECT_FALSE(welfare_certifies_pareto(game, wasteful));
+}
+
+/// Theorem 2 at small scale, by exhaustive proof: with constant R every
+/// brute-force Nash equilibrium is Pareto-optimal.
+TEST(Theorem2, EveryNashIsParetoOptimalConstantRate) {
+  for (const auto& [users, channels, radios] :
+       {std::tuple<std::size_t, std::size_t, RadioCount>{2, 2, 2},
+        {3, 2, 1},
+        {2, 3, 2},
+        {3, 3, 1}}) {
+    const Game game = constant_game(users, channels, radios);
+    const auto equilibria = enumerate_nash_equilibria(game);
+    ASSERT_FALSE(equilibria.empty()) << game.config().describe();
+    for (const auto& ne : equilibria) {
+      EXPECT_TRUE(is_pareto_optimal(game, ne))
+          << game.config().describe() << " " << ne.key();
+    }
+  }
+}
+
+/// Theorem 2's *system*-optimality claim holds for constant R: NE welfare
+/// equals the global optimum.
+TEST(Theorem2, NashWelfareIsSystemOptimalConstantRate) {
+  const Game game = constant_game(3, 2, 2);
+  for (const auto& ne : enumerate_nash_equilibria(game)) {
+    EXPECT_NEAR(game.welfare(ne), game.optimal_welfare(), 1e-12);
+  }
+}
+
+/// Extension finding: with strictly decreasing R, Nash equilibria are NOT
+/// system-optimal (welfare strictly below |C|*R(1)), quantifying the
+/// paper's implicit constant-R assumption in Theorem 2.
+TEST(Theorem2, DecreasingRateBreaksSystemOptimality) {
+  const Game game = power_law_game(3, 2, 2, 1.0);  // R(k)=1/k
+  const auto equilibria = enumerate_nash_equilibria(game);
+  ASSERT_FALSE(equilibria.empty());
+  for (const auto& ne : equilibria) {
+    EXPECT_LT(game.welfare(ne), game.optimal_welfare() - 0.1);
+  }
+}
+
+/// For decreasing R the Pareto question is subtler: welfare no longer
+/// certifies, so check exhaustively whether NE remain Pareto-optimal in a
+/// small instance (they need not be in general — a coordinated "everyone
+/// parks their surplus" can dominate; record what actually happens here).
+TEST(Theorem2, DecreasingRateParetoAudit) {
+  const Game game = power_law_game(2, 2, 2, 1.0);
+  const auto equilibria = enumerate_nash_equilibria(game);
+  ASSERT_FALSE(equilibria.empty());
+  std::size_t pareto_optimal = 0;
+  for (const auto& ne : equilibria) {
+    if (is_pareto_optimal(game, ne)) ++pareto_optimal;
+  }
+  ::testing::Test::RecordProperty("ne_count",
+                                  static_cast<int>(equilibria.size()));
+  ::testing::Test::RecordProperty("pareto_optimal_ne",
+                                  static_cast<int>(pareto_optimal));
+  // At minimum the audit must classify every equilibrium one way or the
+  // other (smoke check that the enumeration machinery composes).
+  EXPECT_LE(pareto_optimal, equilibria.size());
+}
+
+TEST(Pareto, ToleranceAbsorbsTies) {
+  const Game game = constant_game(2, 2, 1);
+  const auto a = matrix_of(game, {{1, 0}, {0, 1}});
+  const auto b = matrix_of(game, {{0, 1}, {1, 0}});
+  // Identical utility profiles: no dominance at any tolerance.
+  EXPECT_FALSE(pareto_dominates(game, a, b, 1e-9));
+  EXPECT_FALSE(pareto_dominates(game, a, b, 0.5));
+}
+
+}  // namespace
+}  // namespace mrca

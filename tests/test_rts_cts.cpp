@@ -1,0 +1,110 @@
+// RTS/CTS access mode: analytical model and DES, cross-validated.
+#include <gtest/gtest.h>
+
+#include "mac/bianchi.h"
+#include "sim/mac_dcf.h"
+
+namespace mrca {
+namespace {
+
+DcfParameters rts_params() {
+  DcfParameters params = DcfParameters::bianchi_fhss();
+  params.access_mode = DcfAccessMode::kRtsCts;
+  return params;
+}
+
+TEST(RtsCts, DerivedDurations) {
+  const DcfParameters params = rts_params();
+  // RTS = (160+128)/1e6 = 288 us; CTS = (112+128)/1e6 = 240 us.
+  EXPECT_NEAR(params.rts_time_s(), 288e-6, 1e-12);
+  EXPECT_NEAR(params.cts_time_s(), 240e-6, 1e-12);
+  // T_c shrinks to RTS + DIFS + delta = 417 us (vs 8713 us basic).
+  EXPECT_NEAR(params.collision_time_s(), 417e-6, 1e-9);
+  // T_s grows by RTS + CTS + 2(SIFS + delta).
+  const DcfParameters basic = DcfParameters::bianchi_fhss();
+  EXPECT_NEAR(params.success_time_s(),
+              basic.success_time_s() + 288e-6 + 240e-6 + 2 * (28e-6 + 1e-6),
+              1e-9);
+}
+
+TEST(RtsCts, ValidationCoversHandshakeFrames) {
+  DcfParameters params = rts_params();
+  params.rts_bits = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = rts_params();
+  params.cts_bits = -1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(RtsCts, ModelThroughputIsFlatterThanBasic) {
+  // Cheap collisions make RTS/CTS throughput nearly independent of n
+  // (Bianchi Fig. 6): relative decay from n=5 to n=50 must be far smaller
+  // than basic access.
+  const BianchiDcfModel basic(DcfParameters::bianchi_fhss());
+  const BianchiDcfModel rts(rts_params());
+  const double basic_decay =
+      1.0 - basic.saturation_throughput(50).throughput_fraction /
+                basic.saturation_throughput(5).throughput_fraction;
+  const double rts_decay =
+      1.0 - rts.saturation_throughput(50).throughput_fraction /
+                rts.saturation_throughput(5).throughput_fraction;
+  EXPECT_LT(rts_decay, 0.4 * basic_decay);
+  EXPECT_LT(rts_decay, 0.03);
+}
+
+TEST(RtsCts, ModelBeatsBasicUnderHeavyContention) {
+  const BianchiDcfModel basic(DcfParameters::bianchi_fhss());
+  const BianchiDcfModel rts(rts_params());
+  EXPECT_GT(rts.saturation_throughput(30).throughput_fraction,
+            basic.saturation_throughput(30).throughput_fraction);
+  // ...but pays the handshake overhead when alone.
+  EXPECT_LT(rts.saturation_throughput(1).throughput_fraction,
+            basic.saturation_throughput(1).throughput_fraction);
+}
+
+TEST(RtsCts, SimMatchesModel) {
+  const BianchiDcfModel model(rts_params());
+  for (const int n : {1, 5, 10}) {
+    sim::DcfChannelSim channel(rts_params(), n,
+                               500 + static_cast<std::uint64_t>(n));
+    channel.run(40.0);
+    const double predicted = model.saturation_throughput(n).throughput_bps;
+    EXPECT_NEAR(channel.total_throughput_bps(), predicted, 0.05 * predicted)
+        << "n=" << n;
+  }
+}
+
+TEST(RtsCts, SimCollisionsAreCheap) {
+  // Same contention level: RTS/CTS wastes far less airtime per collision,
+  // so with many stations its goodput is higher than basic access.
+  sim::DcfChannelSim basic(DcfParameters::bianchi_fhss(), 20, 3);
+  sim::DcfChannelSim rts(rts_params(), 20, 3);
+  basic.run(30.0);
+  rts.run(30.0);
+  EXPECT_GT(rts.total_throughput_bps(), basic.total_throughput_bps());
+}
+
+TEST(RtsCts, SimFairnessHolds) {
+  sim::DcfChannelSim channel(rts_params(), 6, 17);
+  channel.run(40.0);
+  const auto shares = channel.per_station_throughput_bps();
+  double sum = 0;
+  double sum_sq = 0;
+  for (const double s : shares) {
+    sum += s;
+    sum_sq += s * s;
+  }
+  const double jain =
+      sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+  EXPECT_GT(jain, 0.99);
+}
+
+TEST(RtsCts, GameRateFunctionIsUsable) {
+  const BianchiDcfModel model(rts_params());
+  const auto rate = model.make_practical_rate(20);
+  EXPECT_NO_THROW(rate->validate_non_increasing(20));
+  EXPECT_GT(rate->rate(1), 0.0);
+}
+
+}  // namespace
+}  // namespace mrca

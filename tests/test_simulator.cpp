@@ -1,0 +1,94 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrca::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(1000), 0u);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, ProcessesOnlyEventsWithinHorizon) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(10, [&] { fired.push_back(10); });
+  sim.schedule_at(20, [&] { fired.push_back(20); });
+  sim.schedule_at(30, [&] { fired.push_back(30); });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.run_until(100), 1u);
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  sim.run_until(50);
+  SimTime seen = -1;
+  sim.schedule_in(25, [&] { seen = sim.now(); });
+  sim.run_until(100);
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.run_until(100);
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NowIsEventTimestampDuringExecution) {
+  Simulator sim;
+  SimTime inside = -1;
+  sim.schedule_at(42, [&] { inside = sim.now(); });
+  sim.run_until(100);
+  EXPECT_EQ(inside, 42);
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(100);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunAllDrainsQueue) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(5, [&] {
+    ++count;
+    sim.schedule_in(5, [&] { ++count; });
+  });
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, RunUntilIsResumable) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(35);
+  EXPECT_EQ(fired.size(), 3u);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mrca::sim

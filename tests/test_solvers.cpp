@@ -1,0 +1,104 @@
+#include "common/solvers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrca {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto result = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, FindsRootWithNegativeSlope) {
+  const auto result = bisect([](double x) { return 1.0 - x; }, 0.0, 5.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 1.0, 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto at_lo = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(at_lo.converged);
+  EXPECT_DOUBLE_EQ(at_lo.root, 0.0);
+  const auto at_hi = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(at_hi.converged);
+  EXPECT_DOUBLE_EQ(at_hi.root, 1.0);
+}
+
+TEST(Bisect, RejectsNonBracketingInterval) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, RejectsReversedInterval) {
+  EXPECT_THROW(bisect([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, TranscendentalRoot) {
+  // x = cos(x) has root ~0.7390851332.
+  const auto result =
+      bisect([](double x) { return x - std::cos(x); }, 0.0, 1.0, 1e-14);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.7390851332151607, 1e-10);
+}
+
+TEST(FixedPoint, ConvergesOnContraction) {
+  // x = cos(x) is a contraction near the root.
+  const auto result = fixed_point([](double x) { return std::cos(x); }, 0.5);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+  // g(x) = 2.8 x (1 - x): undamped iteration oscillates (logistic regime);
+  // heavy damping converges to the fixed point 1 - 1/2.8.
+  const auto damped = fixed_point(
+      [](double x) { return 2.8 * x * (1.0 - x); }, 0.3, 0.3, 1e-12, 20000);
+  EXPECT_TRUE(damped.converged);
+  EXPECT_NEAR(damped.root, 1.0 - 1.0 / 2.8, 1e-8);
+}
+
+TEST(FixedPoint, RejectsBadDamping) {
+  EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(fixed_point([](double x) { return x; }, 0.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(FixedPoint, ImmediateFixedPoint) {
+  const auto result = fixed_point([](double x) { return x; }, 3.25);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.root, 3.25);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+TEST(MaximizeUnimodal, FindsParabolaPeak) {
+  const auto result = maximize_unimodal(
+      [](double x) { return -(x - 1.5) * (x - 1.5); }, -10.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 1.5, 1e-7);
+}
+
+TEST(MaximizeUnimodal, FindsBoundaryMaximum) {
+  const auto result = maximize_unimodal([](double x) { return x; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.root, 2.0, 1e-6);
+}
+
+TEST(MaximizeUnimodal, RejectsReversedInterval) {
+  EXPECT_THROW(maximize_unimodal([](double x) { return x; }, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MaximizeUnimodal, SineOnHalfPeriod) {
+  const auto result =
+      maximize_unimodal([](double x) { return std::sin(x); }, 0.0, 3.141592);
+  EXPECT_NEAR(result.root, 3.141592 / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mrca

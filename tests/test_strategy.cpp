@@ -1,0 +1,215 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/types.h"
+#include "test_util.h"
+
+namespace mrca {
+namespace {
+
+GameConfig small_config() { return GameConfig(3, 4, 2); }
+
+TEST(GameConfig, ValidatesArguments) {
+  EXPECT_THROW(GameConfig(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(GameConfig(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(GameConfig(2, 3, 0), std::invalid_argument);
+  EXPECT_THROW(GameConfig(2, 3, 4), std::invalid_argument);  // k > |C|
+  EXPECT_NO_THROW(GameConfig(2, 3, 3));
+}
+
+TEST(GameConfig, TotalsAndConflict) {
+  GameConfig config(4, 6, 2);
+  EXPECT_EQ(config.total_radios(), 8);
+  EXPECT_TRUE(config.has_conflict());  // 8 > 6
+  GameConfig no_conflict(2, 6, 2);
+  EXPECT_FALSE(no_conflict.has_conflict());  // 4 <= 6
+  GameConfig boundary(3, 6, 2);
+  EXPECT_FALSE(boundary.has_conflict());  // 6 <= 6 (Fact 1 regime)
+}
+
+TEST(StrategyMatrix, StartsEmpty) {
+  StrategyMatrix matrix(small_config());
+  EXPECT_EQ(matrix.total_deployed(), 0);
+  for (UserId i = 0; i < 3; ++i) {
+    EXPECT_EQ(matrix.user_total(i), 0);
+    EXPECT_EQ(matrix.spare_radios(i), 2);
+  }
+  for (ChannelId c = 0; c < 4; ++c) {
+    EXPECT_EQ(matrix.channel_load(c), 0);
+  }
+}
+
+TEST(StrategyMatrix, AddRemoveMaintainsInvariants) {
+  StrategyMatrix matrix(small_config());
+  matrix.add_radio(0, 1);
+  matrix.add_radio(0, 1);
+  EXPECT_EQ(matrix.at(0, 1), 2);
+  EXPECT_EQ(matrix.channel_load(1), 2);
+  EXPECT_EQ(matrix.user_total(0), 2);
+  EXPECT_EQ(matrix.spare_radios(0), 0);
+  EXPECT_THROW(matrix.add_radio(0, 2), std::logic_error);  // budget exhausted
+
+  matrix.remove_radio(0, 1);
+  EXPECT_EQ(matrix.at(0, 1), 1);
+  EXPECT_EQ(matrix.channel_load(1), 1);
+  EXPECT_THROW(matrix.remove_radio(0, 3), std::logic_error);  // none there
+}
+
+TEST(StrategyMatrix, MoveRadio) {
+  StrategyMatrix matrix(small_config());
+  matrix.add_radio(1, 0);
+  matrix.move_radio(1, 0, 3);
+  EXPECT_EQ(matrix.at(1, 0), 0);
+  EXPECT_EQ(matrix.at(1, 3), 1);
+  EXPECT_EQ(matrix.channel_load(0), 0);
+  EXPECT_EQ(matrix.channel_load(3), 1);
+  EXPECT_EQ(matrix.user_total(1), 1);
+  // Self-move is a no-op.
+  matrix.move_radio(1, 3, 3);
+  EXPECT_EQ(matrix.at(1, 3), 1);
+  // Moving a radio that is not there throws.
+  EXPECT_THROW(matrix.move_radio(1, 0, 2), std::logic_error);
+}
+
+TEST(StrategyMatrix, ApplyRadioMove) {
+  StrategyMatrix matrix(small_config());
+  matrix.add_radio(2, 2);
+  matrix.apply(RadioMove{2, 2, 0});
+  EXPECT_EQ(matrix.at(2, 0), 1);
+  EXPECT_EQ(matrix.at(2, 2), 0);
+}
+
+TEST(StrategyMatrix, FromRowsValidates) {
+  const GameConfig config = small_config();
+  EXPECT_THROW(StrategyMatrix::from_rows(config, {{1, 0, 0, 0}}),
+               std::invalid_argument);  // wrong row count
+  EXPECT_THROW(
+      StrategyMatrix::from_rows(config, {{1, 0, 0}, {0, 0, 0}, {0, 0, 0}}),
+      std::invalid_argument);  // wrong width
+  EXPECT_THROW(StrategyMatrix::from_rows(
+                   config, {{3, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}}),
+               std::invalid_argument);  // over budget
+  EXPECT_THROW(StrategyMatrix::from_rows(
+                   config, {{-1, 1, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}}),
+               std::invalid_argument);  // negative
+  const auto ok = StrategyMatrix::from_rows(
+      config, {{1, 1, 0, 0}, {0, 2, 0, 0}, {0, 0, 0, 1}});
+  EXPECT_EQ(ok.channel_load(1), 3);
+  EXPECT_EQ(ok.total_deployed(), 5);
+}
+
+TEST(StrategyMatrix, SetRowUpdatesLoads) {
+  StrategyMatrix matrix(small_config());
+  matrix.add_radio(0, 0);
+  matrix.add_radio(0, 1);
+  const std::vector<RadioCount> new_row = {0, 0, 2, 0};
+  matrix.set_row(0, new_row);
+  EXPECT_EQ(matrix.channel_load(0), 0);
+  EXPECT_EQ(matrix.channel_load(1), 0);
+  EXPECT_EQ(matrix.channel_load(2), 2);
+  EXPECT_EQ(matrix.user_total(0), 2);
+}
+
+TEST(StrategyMatrix, MinMaxLoadsAndSets) {
+  const auto matrix = StrategyMatrix::from_rows(
+      small_config(), {{1, 1, 0, 0}, {1, 1, 0, 0}, {1, 0, 1, 0}});
+  EXPECT_EQ(matrix.max_load(), 3);
+  EXPECT_EQ(matrix.min_load(), 0);
+  EXPECT_EQ(matrix.max_loaded_channels(), std::vector<ChannelId>{0});
+  EXPECT_EQ(matrix.min_loaded_channels(), std::vector<ChannelId>{3});
+  EXPECT_EQ(matrix.load_difference(0, 3), 3);
+  EXPECT_EQ(matrix.load_difference(3, 0), -3);
+}
+
+TEST(StrategyMatrix, DeploymentAndOccupancyPredicates) {
+  auto matrix = StrategyMatrix::from_rows(
+      small_config(), {{1, 1, 0, 0}, {0, 1, 1, 0}, {1, 0, 0, 1}});
+  EXPECT_TRUE(matrix.all_radios_deployed());
+  EXPECT_TRUE(matrix.all_channels_occupied());
+  matrix.remove_radio(0, 0);
+  EXPECT_FALSE(matrix.all_radios_deployed());
+  matrix.remove_radio(2, 0);
+  EXPECT_FALSE(matrix.all_channels_occupied());
+}
+
+TEST(StrategyMatrix, RowViewReflectsState) {
+  StrategyMatrix matrix(small_config());
+  matrix.add_radio(1, 2);
+  const auto row = matrix.row(1);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[2], 1);
+  EXPECT_EQ(row[0], 0);
+}
+
+TEST(StrategyMatrix, KeyIsCanonical) {
+  const auto a = StrategyMatrix::from_rows(
+      small_config(), {{1, 1, 0, 0}, {0, 1, 1, 0}, {1, 0, 0, 1}});
+  EXPECT_EQ(a.key(), "1,1,0,0|0,1,1,0|1,0,0,1");
+}
+
+TEST(StrategyMatrix, EqualityComparesCells) {
+  const auto a =
+      StrategyMatrix::from_rows(small_config(), {{1, 0, 0, 0}, {0, 0, 0, 0},
+                                                 {0, 0, 0, 0}});
+  auto b = StrategyMatrix(small_config());
+  EXPECT_FALSE(a == b);
+  b.add_radio(0, 0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(StrategyMatrix, BoundsChecking) {
+  StrategyMatrix matrix(small_config());
+  EXPECT_THROW(matrix.at(3, 0), std::out_of_range);
+  EXPECT_THROW(matrix.at(0, 4), std::out_of_range);
+  EXPECT_THROW(matrix.channel_load(4), std::out_of_range);
+  EXPECT_THROW(matrix.user_total(3), std::out_of_range);
+  EXPECT_THROW(matrix.add_radio(3, 0), std::out_of_range);
+  EXPECT_THROW(matrix.add_radio(0, 7), std::out_of_range);
+}
+
+/// Property: after any random sequence of valid mutations the cached loads
+/// and totals match a from-scratch recomputation.
+TEST(StrategyMatrixProperty, CachedAggregatesStayConsistent) {
+  const GameConfig config(5, 6, 4);
+  StrategyMatrix matrix(config);
+  Rng rng(2024);
+  for (int step = 0; step < 5000; ++step) {
+    const UserId user = rng.index(config.num_users);
+    const ChannelId channel = rng.index(config.num_channels);
+    const int action = static_cast<int>(rng.uniform_int(0, 2));
+    try {
+      if (action == 0) {
+        matrix.add_radio(user, channel);
+      } else if (action == 1) {
+        matrix.remove_radio(user, channel);
+      } else {
+        const ChannelId to = rng.index(config.num_channels);
+        matrix.move_radio(user, channel, to);
+      }
+    } catch (const std::logic_error&) {
+      // Invalid mutation rejected; state must be unchanged — verified below.
+    }
+    // Recompute from scratch and compare.
+    RadioCount total = 0;
+    for (ChannelId c = 0; c < config.num_channels; ++c) {
+      RadioCount load = 0;
+      for (UserId i = 0; i < config.num_users; ++i) load += matrix.at(i, c);
+      ASSERT_EQ(load, matrix.channel_load(c)) << "step " << step;
+      total += load;
+    }
+    for (UserId i = 0; i < config.num_users; ++i) {
+      RadioCount row_total = 0;
+      for (ChannelId c = 0; c < config.num_channels; ++c) {
+        row_total += matrix.at(i, c);
+      }
+      ASSERT_EQ(row_total, matrix.user_total(i)) << "step " << step;
+      ASSERT_LE(row_total, config.radios_per_user);
+    }
+    ASSERT_EQ(total, matrix.total_deployed());
+  }
+}
+
+}  // namespace
+}  // namespace mrca

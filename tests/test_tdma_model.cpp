@@ -1,0 +1,59 @@
+#include "mac/tdma.h"
+
+#include <gtest/gtest.h>
+
+namespace mrca {
+namespace {
+
+TEST(TdmaModel, RejectsBadParameters) {
+  TdmaParameters params;
+  params.bitrate_bps = 0;
+  EXPECT_THROW(TdmaModel{params}, std::invalid_argument);
+  params = {};
+  params.slot_duration_s = 0;
+  EXPECT_THROW(TdmaModel{params}, std::invalid_argument);
+  params = {};
+  params.guard_time_s = -1e-6;
+  EXPECT_THROW(TdmaModel{params}, std::invalid_argument);
+}
+
+TEST(TdmaModel, EfficiencyFormula) {
+  TdmaParameters params;
+  params.slot_duration_s = 9e-3;
+  params.guard_time_s = 1e-3;
+  EXPECT_NEAR(params.efficiency(), 0.9, 1e-12);
+}
+
+TEST(TdmaModel, TotalRateIsConstantInStations) {
+  const TdmaModel model{TdmaParameters{}};
+  const double r1 = model.total_rate_bps(1);
+  for (int k : {2, 3, 10, 100}) {
+    EXPECT_DOUBLE_EQ(model.total_rate_bps(k), r1);
+  }
+  EXPECT_THROW(model.total_rate_bps(0), std::invalid_argument);
+}
+
+TEST(TdmaModel, PerStationShareIsEqualSplit) {
+  const TdmaModel model{TdmaParameters{}};
+  EXPECT_NEAR(model.per_station_rate_bps(4), model.total_rate_bps(4) / 4.0,
+              1e-12);
+}
+
+TEST(TdmaModel, ZeroGuardIsPerfectlyEfficient) {
+  TdmaParameters params;
+  params.guard_time_s = 0.0;
+  const TdmaModel model{params};
+  EXPECT_DOUBLE_EQ(model.total_rate_bps(3), params.bitrate_bps);
+}
+
+TEST(TdmaModel, GameRateFunctionIsConstant) {
+  const TdmaModel model{TdmaParameters{}};
+  const auto rate = model.make_rate();
+  EXPECT_DOUBLE_EQ(rate->rate(0), 0.0);
+  EXPECT_NEAR(rate->rate(1), model.total_rate_bps(1) / 1e6, 1e-12);
+  EXPECT_DOUBLE_EQ(rate->rate(1), rate->rate(25));
+  EXPECT_NO_THROW(rate->validate_non_increasing(100));
+}
+
+}  // namespace
+}  // namespace mrca

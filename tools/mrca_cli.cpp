@@ -1,0 +1,227 @@
+// mrca — command line interface to the channel-allocation library.
+//
+// Subcommands:
+//   solve    N C k [options]          run Algorithm 1, print + verify the NE
+//   verify   N C k MATRIX [options]   check a matrix against all 3 layers
+//   dynamics N C k [options]          best-response play from a random start
+//   rates    [options]                print R(k) tables for the MAC models
+//   simulate N C k [options]          NE + packet-level DES validation
+//
+// Common options:
+//   --rate tdma|dcf|dcf-opt|powerlaw=<alpha>    rate function (default tdma)
+//   --seed <u64>                                RNG seed (default 1)
+//   --seconds <d>                               simulation horizon
+//   --max-k <int>                               table size for `rates`
+//
+// MATRIX uses the canonical key format: rows '|', cells ',',
+// e.g. "1,1,0|0,1,1".
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mrca.h"
+
+namespace {
+
+using namespace mrca;
+
+struct CliOptions {
+  std::string rate = "tdma";
+  std::uint64_t seed = 1;
+  double seconds = 10.0;
+  int max_k = 10;
+  std::vector<std::string> positional;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: mrca <command> [args]\n"
+      "  solve    N C k [--rate R] [--seed S]\n"
+      "  verify   N C k MATRIX [--rate R]\n"
+      "  dynamics N C k [--rate R] [--seed S]\n"
+      "  rates    [--max-k K]\n"
+      "  simulate N C k [--rate R] [--seed S] [--seconds T]\n"
+      "rate functions: tdma | dcf | dcf-opt | powerlaw=<alpha>\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+CliOptions parse_options(int argc, char** argv, int first) {
+  CliOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (arg == "--rate") {
+      options.rate = need_value(arg);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+    } else if (arg == "--seconds") {
+      options.seconds = std::strtod(need_value(arg).c_str(), nullptr);
+    } else if (arg == "--max-k") {
+      options.max_k = std::atoi(need_value(arg).c_str());
+    } else if (arg.rfind("--", 0) == 0) {
+      usage("unknown option " + arg);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+std::shared_ptr<const RateFunction> make_rate(const std::string& spec,
+                                              int max_load) {
+  if (spec == "tdma") return std::make_shared<ConstantRate>(1.0);
+  if (spec == "dcf") {
+    return BianchiDcfModel(DcfParameters::bianchi_fhss())
+        .make_practical_rate(std::max(max_load, 2));
+  }
+  if (spec == "dcf-opt") {
+    return BianchiDcfModel(DcfParameters::bianchi_fhss())
+        .make_optimal_rate(std::max(max_load, 2));
+  }
+  if (spec.rfind("powerlaw=", 0) == 0) {
+    const double alpha = std::strtod(spec.c_str() + 9, nullptr);
+    return std::make_shared<PowerLawRate>(1.0, alpha);
+  }
+  usage("unknown rate function '" + spec + "'");
+}
+
+GameConfig parse_config(const CliOptions& options) {
+  if (options.positional.size() < 3) usage("expected N C k");
+  const auto users =
+      static_cast<std::size_t>(std::atoi(options.positional[0].c_str()));
+  const auto channels =
+      static_cast<std::size_t>(std::atoi(options.positional[1].c_str()));
+  const int radios = std::atoi(options.positional[2].c_str());
+  return GameConfig(users, channels, radios);
+}
+
+void report_state(const Game& game, const StrategyMatrix& matrix) {
+  std::cout << render_matrix(matrix) << render_loads(matrix) << "\n\n"
+            << render_utilities(game, matrix) << '\n';
+  const Theorem1Result theorem = check_theorem1(matrix);
+  std::cout << "Theorem 1 predicate:   "
+            << (theorem.predicts_nash() ? "satisfied" : "violated") << '\n'
+            << "single-move stability: "
+            << (is_single_move_stable(game, matrix) ? "stable" : "unstable")
+            << '\n'
+            << "exact Nash (oracle):   "
+            << (is_nash_equilibrium(game, matrix) ? "equilibrium"
+                                                  : "NOT an equilibrium")
+            << '\n';
+  if (!theorem.violations.empty()) {
+    std::cout << "violations:\n";
+    for (const auto& violation : theorem.violations) {
+      std::cout << "  [" << violation.condition << "] user "
+                << (violation.user + 1) << ": " << violation.detail << '\n';
+    }
+  }
+}
+
+int cmd_solve(const CliOptions& options) {
+  const GameConfig config = parse_config(options);
+  const Game game(config, make_rate(options.rate, config.total_radios()));
+  std::cout << "Algorithm 1 on " << config.describe() << " with "
+            << game.rate_function().name() << ":\n\n";
+  const StrategyMatrix ne = sequential_allocation(game);
+  report_state(game, ne);
+  std::cout << "price of anarchy:      " << price_of_anarchy(game) << '\n';
+  return 0;
+}
+
+int cmd_verify(const CliOptions& options) {
+  if (options.positional.size() < 4) usage("verify needs N C k MATRIX");
+  const GameConfig config = parse_config(options);
+  const Game game(config, make_rate(options.rate, config.total_radios()));
+  const StrategyMatrix matrix =
+      parse_matrix(config, options.positional[3]);
+  report_state(game, matrix);
+  return is_nash_equilibrium(game, matrix) ? 0 : 1;
+}
+
+int cmd_dynamics(const CliOptions& options) {
+  const GameConfig config = parse_config(options);
+  const Game game(config, make_rate(options.rate, config.total_radios()));
+  Rng rng(options.seed);
+  const StrategyMatrix start = random_full_allocation(game, rng);
+  std::cout << "random start:\n" << render_matrix(start) << '\n';
+  DynamicsOptions dynamics;
+  dynamics.record_welfare_trace = true;
+  const DynamicsResult result =
+      run_response_dynamics(game, start, dynamics, &rng);
+  std::cout << "best-response dynamics: " << result.improving_steps
+            << " improving moves, " << result.activations << " activations, "
+            << (result.converged ? "converged" : "budget exhausted") << "\n\n";
+  report_state(game, result.final_state);
+  return result.converged ? 0 : 1;
+}
+
+int cmd_rates(const CliOptions& options) {
+  const BianchiDcfModel basic(DcfParameters::bianchi_fhss());
+  DcfParameters rts_params = DcfParameters::bianchi_fhss();
+  rts_params.access_mode = DcfAccessMode::kRtsCts;
+  const BianchiDcfModel rts(rts_params);
+  const TdmaModel tdma{TdmaParameters{}};
+  Table table({"k", "TDMA", "DCF basic", "DCF optimal", "DCF RTS/CTS"});
+  for (int k = 1; k <= options.max_k; ++k) {
+    table.add_row(
+        {Table::fmt(k), Table::fmt(tdma.total_rate_bps(k) / 1e6, 4),
+         Table::fmt(basic.saturation_throughput(k).throughput_bps / 1e6, 4),
+         Table::fmt(basic.optimal_backoff_throughput(k).throughput_bps / 1e6,
+                    4),
+         Table::fmt(rts.saturation_throughput(k).throughput_bps / 1e6, 4)});
+  }
+  std::cout << "Total channel rate R(k) [Mbit/s]:\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const CliOptions& options) {
+  const GameConfig config = parse_config(options);
+  const Game game(config, make_rate(options.rate, config.total_radios()));
+  const StrategyMatrix ne = sequential_allocation(game);
+  std::cout << "equilibrium allocation:\n"
+            << render_matrix(ne) << render_loads(ne) << "\n\n";
+  sim::NetworkOptions network;
+  network.mac =
+      options.rate == "tdma" ? sim::MacKind::kTdma : sim::MacKind::kDcf;
+  network.duration_s = options.seconds;
+  network.seed = options.seed;
+  const sim::NetworkResult measured = sim::simulate_network(ne, network);
+  Table table({"user", "game prediction", "simulated [Mbit/s]"});
+  for (UserId i = 0; i < config.num_users; ++i) {
+    table.add_row({"u" + std::to_string(i + 1),
+                   Table::fmt(game.utility(ne, i), 4),
+                   Table::fmt(measured.per_user_bps[i] / 1e6, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "total simulated: " << measured.total_bps() / 1e6
+            << " Mbit/s over " << options.seconds << " s\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const CliOptions options = parse_options(argc, argv, 2);
+    if (command == "solve") return cmd_solve(options);
+    if (command == "verify") return cmd_verify(options);
+    if (command == "dynamics") return cmd_dynamics(options);
+    if (command == "rates") return cmd_rates(options);
+    if (command == "simulate") return cmd_simulate(options);
+    if (command == "help" || command == "--help") usage();
+    usage("unknown command '" + command + "'");
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
+}
