@@ -55,7 +55,7 @@ int main() {
   for (UserId i = 0; i < config.num_users; ++i) {
     const double predicted = game.utility(ne, i);
     const double simulated = measured.per_user_bps[i] / 1e6;
-    verdict.add_row({"u" + std::to_string(i + 1), Table::fmt(predicted, 4),
+    verdict.add_row({Table::label("u", i + 1), Table::fmt(predicted, 4),
                      Table::fmt(simulated, 4),
                      Table::fmt(100.0 * (simulated - predicted) /
                                     (predicted > 0 ? predicted : 1.0),

@@ -34,7 +34,8 @@ int main() {
     const auto& ne = outcome.final_state;
     std::string loads;
     for (ChannelId c = 0; c < 4; ++c) {
-      loads += (c ? "," : "") + std::to_string(ne.channel_load(c));
+      if (c) loads += ',';
+      loads += std::to_string(ne.channel_load(c));
     }
     het_table.add_row({Table::fmt(users), loads,
                        Table::fmt(ne.max_load() - ne.min_load()),

@@ -1,0 +1,95 @@
+// A/B benchmarks for the batch engine PR:
+//  - response dynamics with the incremental utility cache vs the seed's
+//    full-recompute path, on a 512-user game (the acceptance scenario);
+//  - best-response oracle through the memoized RateTable vs virtual dispatch;
+//  - end-to-end sweep throughput at 1 vs hardware threads.
+#include <benchmark/benchmark.h>
+
+#include "mrca.h"
+
+namespace {
+
+using namespace mrca;
+
+constexpr std::size_t kUsers = 512;
+constexpr std::size_t kChannels = 12;
+constexpr RadioCount kRadios = 4;
+
+Game make_large_game() {
+  return Game(GameConfig(kUsers, kChannels, kRadios),
+              std::make_shared<PowerLawRate>(1.0, 1.0));
+}
+
+/// Best-single-move play from a random start with the welfare trace on —
+/// the configuration where per-activation full recompute hurts most.
+void run_dynamics(benchmark::State& state, bool incremental) {
+  const Game game = make_large_game();
+  Rng start_rng(42);
+  const StrategyMatrix start = random_full_allocation(game, start_rng);
+  DynamicsOptions options;
+  options.granularity = ResponseGranularity::kBestSingleMove;
+  options.record_welfare_trace = true;
+  options.use_incremental_cache = incremental;
+  for (auto _ : state) {
+    const DynamicsResult result = run_response_dynamics(game, start, options);
+    benchmark::DoNotOptimize(result.improving_steps);
+    if (!result.converged) state.SkipWithError("dynamics did not converge");
+  }
+}
+
+void BM_DynamicsFullRecompute512(benchmark::State& state) {
+  run_dynamics(state, /*incremental=*/false);
+}
+BENCHMARK(BM_DynamicsFullRecompute512)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicsIncremental512(benchmark::State& state) {
+  run_dynamics(state, /*incremental=*/true);
+}
+BENCHMARK(BM_DynamicsIncremental512)->Unit(benchmark::kMillisecond);
+
+void run_best_response_dynamics(benchmark::State& state, bool incremental) {
+  const Game game = make_large_game();
+  Rng start_rng(43);
+  const StrategyMatrix start = random_full_allocation(game, start_rng);
+  DynamicsOptions options;
+  options.granularity = ResponseGranularity::kBestResponse;
+  options.use_incremental_cache = incremental;
+  for (auto _ : state) {
+    const DynamicsResult result = run_response_dynamics(game, start, options);
+    benchmark::DoNotOptimize(result.improving_steps);
+  }
+}
+
+void BM_BestResponseDynFullRecompute512(benchmark::State& state) {
+  run_best_response_dynamics(state, /*incremental=*/false);
+}
+BENCHMARK(BM_BestResponseDynFullRecompute512)->Unit(benchmark::kMillisecond);
+
+void BM_BestResponseDynIncremental512(benchmark::State& state) {
+  run_best_response_dynamics(state, /*incremental=*/true);
+}
+BENCHMARK(BM_BestResponseDynIncremental512)->Unit(benchmark::kMillisecond);
+
+void BM_SweepGrid(benchmark::State& state) {
+  engine::SweepSpec spec;
+  spec.users = {4, 8, 16, 32};
+  spec.channels = {4, 8};
+  spec.radios = {1, 2, 4};
+  spec.rates = {engine::RateSpec{},
+                engine::RateSpec{engine::RateSpec::Kind::kPowerLaw, 1.0, 1.0}};
+  spec.replicates = 4;
+  engine::SweepOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const engine::SweepResult result = engine::run_sweep(spec, options);
+    benchmark::DoNotOptimize(result.total_runs);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.grid_size() * spec.replicates));
+}
+BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

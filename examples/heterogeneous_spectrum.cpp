@@ -42,7 +42,7 @@ int main() {
   Table table({"channel", "rate [Mbit/s]", "radios", "per-radio [Mbit/s]"});
   for (ChannelId c = 0; c < config.num_channels; ++c) {
     const RadioCount load = ne.channel_load(c);
-    table.add_row({"c" + std::to_string(c + 1),
+    table.add_row({Table::label("c", c + 1),
                    Table::fmt(game.rate_function(c).rate(1), 2),
                    Table::fmt(static_cast<int>(load)),
                    Table::fmt(load > 0 ? game.rate_function(c).rate(load) /

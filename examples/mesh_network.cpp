@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     const double simulated = measured.per_user_bps[i] / 1e6;
     const double error =
         predicted > 0 ? 100.0 * (simulated - predicted) / predicted : 0.0;
-    results.add_row({"u" + std::to_string(i + 1), Table::fmt(predicted, 4),
+    results.add_row({Table::label("u", i + 1), Table::fmt(predicted, 4),
                      Table::fmt(simulated, 4), Table::fmt(error, 2)});
   }
   results.print(std::cout);

@@ -95,4 +95,10 @@ std::string Table::fmt(std::size_t value) { return std::to_string(value); }
 
 std::string Table::fmt(int value) { return std::to_string(value); }
 
+std::string Table::label(const char* prefix, std::size_t n) {
+  std::string result(prefix);
+  result += std::to_string(n);
+  return result;
+}
+
 }  // namespace mrca

@@ -38,6 +38,9 @@ class Table {
   static std::string fmt(std::size_t value);
   static std::string fmt(int value);
 
+  /// Builds a prefixed label like "u3" or "c12" (for user/channel columns).
+  static std::string label(const char* prefix, std::size_t n);
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

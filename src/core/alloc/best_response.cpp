@@ -1,52 +1,79 @@
 #include "core/alloc/best_response.h"
 
+#include <optional>
 #include <stdexcept>
 
+#include "core/alloc/utility_cache.h"
 #include "core/analysis/deviation.h"
 
 namespace mrca {
 namespace {
 
-void apply_change(StrategyMatrix& strategies, const SingleChange& change) {
+void apply_change(StrategyMatrix& strategies, const SingleChange& change,
+                  UtilityCache* cache) {
   switch (change.kind) {
     case SingleChange::Kind::kMove:
-      strategies.move_radio(change.user, change.from, change.to);
+      if (cache) {
+        cache->move_radio(strategies, change.user, change.from, change.to);
+      } else {
+        strategies.move_radio(change.user, change.from, change.to);
+      }
       break;
     case SingleChange::Kind::kDeploy:
-      strategies.add_radio(change.user, change.to);
+      if (cache) {
+        cache->add_radio(strategies, change.user, change.to);
+      } else {
+        strategies.add_radio(change.user, change.to);
+      }
       break;
     case SingleChange::Kind::kPark:
-      strategies.remove_radio(change.user, change.from);
+      if (cache) {
+        cache->remove_radio(strategies, change.user, change.from);
+      } else {
+        strategies.remove_radio(change.user, change.from);
+      }
       break;
   }
 }
 
 /// Applies the user's response; returns true if the allocation changed.
+/// `cache` is null on the full-recompute path.
 bool activate(const Game& game, StrategyMatrix& strategies, UserId user,
-              const DynamicsOptions& options, Rng* rng) {
+              const DynamicsOptions& options, Rng* rng, UtilityCache* cache) {
   switch (options.granularity) {
     case ResponseGranularity::kBestResponse: {
-      const double current = game.utility(strategies, user);
-      BestResponse response = best_response(game, strategies, user);
+      const double current =
+          cache ? cache->utility(user) : game.utility(strategies, user);
+      BestResponse response =
+          cache ? best_response(game, strategies, user, cache->rates())
+                : best_response(game, strategies, user);
       if (response.utility > current + options.tolerance) {
-        strategies.set_row(user, response.strategy);
+        if (cache) {
+          cache->set_row(strategies, user, response.strategy);
+        } else {
+          strategies.set_row(user, response.strategy);
+        }
         return true;
       }
       return false;
     }
     case ResponseGranularity::kBestSingleMove: {
       const auto change =
-          best_single_change(game, strategies, user, options.tolerance);
+          cache ? best_single_change(game, strategies, user, options.tolerance,
+                                     cache->rates())
+                : best_single_change(game, strategies, user, options.tolerance);
       if (!change) return false;
-      apply_change(strategies, *change);
+      apply_change(strategies, *change, cache);
       return true;
     }
     case ResponseGranularity::kRandomImprovingMove: {
       const std::vector<SingleChange> improving =
-          improving_changes_for_user(game, strategies, user,
-                                     options.tolerance);
+          cache ? improving_changes_for_user(game, strategies, user,
+                                             options.tolerance, cache->rates())
+                : improving_changes_for_user(game, strategies, user,
+                                             options.tolerance);
       if (improving.empty()) return false;
-      apply_change(strategies, improving[rng->index(improving.size())]);
+      apply_change(strategies, improving[rng->index(improving.size())], cache);
       return true;
     }
   }
@@ -69,8 +96,14 @@ DynamicsResult run_response_dynamics(const Game& game,
   const std::size_t users = game.config().num_users;
   DynamicsResult result{false, 0, 0, start, {}};
   StrategyMatrix& state = result.final_state;
+  std::optional<UtilityCache> cache;
+  if (options.use_incremental_cache) cache.emplace(game, state);
+  UtilityCache* cache_ptr = cache ? &*cache : nullptr;
+  const auto current_welfare = [&] {
+    return cache_ptr ? cache_ptr->welfare() : game.welfare(state);
+  };
   if (options.record_welfare_trace) {
-    result.welfare_trace.push_back(game.welfare(state));
+    result.welfare_trace.push_back(current_welfare());
   }
 
   // A streak of `users` quiet activations triggers an exact verification
@@ -84,11 +117,11 @@ DynamicsResult run_response_dynamics(const Game& game,
                             : static_cast<UserId>(rng->index(users));
     next_user = (next_user + 1) % users;
     ++result.activations;
-    if (activate(game, state, user, options, rng)) {
+    if (activate(game, state, user, options, rng, cache_ptr)) {
       ++result.improving_steps;
       quiet_streak = 0;
       if (options.record_welfare_trace) {
-        result.welfare_trace.push_back(game.welfare(state));
+        result.welfare_trace.push_back(current_welfare());
       }
       continue;
     }
@@ -103,11 +136,11 @@ DynamicsResult run_response_dynamics(const Game& game,
     bool any_improvement = false;
     for (UserId verify = 0; verify < users; ++verify) {
       ++result.activations;
-      if (activate(game, state, verify, options, rng)) {
+      if (activate(game, state, verify, options, rng, cache_ptr)) {
         any_improvement = true;
         ++result.improving_steps;
         if (options.record_welfare_trace) {
-          result.welfare_trace.push_back(game.welfare(state));
+          result.welfare_trace.push_back(current_welfare());
         }
         break;
       }

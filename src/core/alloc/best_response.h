@@ -39,6 +39,11 @@ struct DynamicsOptions {
   double tolerance = kUtilityTolerance;
   /// Record welfare after every improving step (for convergence plots).
   bool record_welfare_trace = false;
+  /// Maintain utilities/welfare incrementally through a UtilityCache and
+  /// memoized rate lookups (O(changed channels) per activation) instead of
+  /// recomputing them from the full matrix. Same trajectories, much faster;
+  /// off reproduces the original full-recompute path for A/B benchmarks.
+  bool use_incremental_cache = true;
 };
 
 struct DynamicsResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/alloc/utility_cache.h"
+
 namespace mrca {
 namespace {
 
@@ -27,7 +29,8 @@ ChannelId pick(const std::vector<ChannelId>& candidates, TieBreak tie_break,
 }  // namespace
 
 ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
-                          UserId user, TieBreak tie_break, Rng* rng) {
+                          UserId user, TieBreak tie_break, Rng* rng,
+                          UtilityCache* cache) {
   game.check_compatible(strategies);
   const std::size_t channels = strategies.num_channels();
   const RadioCount min_load = strategies.min_load();
@@ -60,12 +63,17 @@ ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
   }
 
   const ChannelId chosen = pick(candidates, tie_break, rng);
-  strategies.add_radio(user, chosen);
+  if (cache) {
+    cache->add_radio(strategies, user, chosen);
+  } else {
+    strategies.add_radio(user, chosen);
+  }
   return chosen;
 }
 
 void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
-                                UserId user, TieBreak tie_break, Rng* rng) {
+                                UserId user, TieBreak tie_break, Rng* rng,
+                                UtilityCache* cache) {
   game.check_compatible(strategies);
   if (strategies.user_total(user) != 0) {
     throw std::logic_error(
@@ -73,7 +81,7 @@ void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
   }
   const RadioCount k = game.config().radios_per_user;
   for (RadioCount j = 0; j < k; ++j) {
-    place_one_radio(game, strategies, user, tie_break, rng);
+    place_one_radio(game, strategies, user, tie_break, rng, cache);
   }
 }
 

@@ -23,6 +23,8 @@
 
 namespace mrca {
 
+class UtilityCache;
+
 enum class TieBreak {
   /// Lowest channel index first (fully deterministic; default).
   kLowestIndex,
@@ -44,15 +46,18 @@ StrategyMatrix sequential_allocation(const Game& game,
 
 /// Allocates all k radios of one user into an existing matrix using the
 /// Algorithm 1 placement rule (the user must currently have no radios).
+/// When `cache` is given it must track `strategies`; radios are inserted
+/// through it so utilities/welfare stay current with no extra recompute.
 void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
                                 UserId user,
                                 TieBreak tie_break = TieBreak::kLowestIndex,
-                                Rng* rng = nullptr);
+                                Rng* rng = nullptr,
+                                UtilityCache* cache = nullptr);
 
 /// Places a single radio by the Algorithm 1 rule; returns the channel used.
 ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
                           UserId user,
                           TieBreak tie_break = TieBreak::kLowestIndex,
-                          Rng* rng = nullptr);
+                          Rng* rng = nullptr, UtilityCache* cache = nullptr);
 
 }  // namespace mrca

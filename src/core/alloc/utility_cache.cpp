@@ -1,0 +1,149 @@
+#include "core/alloc/utility_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mrca {
+
+UtilityCache::UtilityCache(const Game& game, const StrategyMatrix& strategies)
+    : game_(&game),
+      rates_(game.rate_function(), game.config().total_radios()),
+      num_channels_(game.config().num_channels) {
+  rebuild(strategies);
+}
+
+void UtilityCache::rebuild(const StrategyMatrix& strategies) {
+  game_->check_compatible(strategies);
+  const std::size_t users = strategies.num_users();
+  utilities_.assign(users, 0.0);
+  welfare_ = 0.0;
+  occupants_.assign(num_channels_, {});
+  positions_.assign(users * num_channels_, kNotOccupant);
+  for (ChannelId c = 0; c < num_channels_; ++c) {
+    const RadioCount load = strategies.channel_load(c);
+    if (load <= 0) continue;
+    welfare_ += rates_.rate(load);
+    const double per_radio = rates_.per_radio(load);
+    for (UserId i = 0; i < users; ++i) {
+      const RadioCount own = strategies.at(i, c);
+      if (own <= 0) continue;
+      utilities_[i] += static_cast<double>(own) * per_radio;
+      insert_occupant(i, c);
+    }
+  }
+}
+
+void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
+                                   UserId user, ChannelId channel,
+                                   RadioCount delta) {
+  if (delta == 0) return;
+  const RadioCount old_load = strategies.channel_load(channel);
+  const RadioCount new_load = old_load + delta;
+  const double per_radio_old = rates_.per_radio(old_load);
+  const double per_radio_new = rates_.per_radio(new_load);
+  const double repricing = per_radio_new - per_radio_old;
+  if (repricing != 0.0) {
+    for (const UserId occupant : occupants_[channel]) {
+      utilities_[occupant] +=
+          static_cast<double>(strategies.at(occupant, channel)) * repricing;
+    }
+  }
+  utilities_[user] += static_cast<double>(delta) * per_radio_new;
+  welfare_ += rates_.rate(new_load) - rates_.rate(old_load);
+
+  const RadioCount old_own = strategies.at(user, channel);
+  if (old_own == 0 && delta > 0) insert_occupant(user, channel);
+  if (old_own + delta == 0 && old_own > 0) erase_occupant(user, channel);
+}
+
+// Every mutator validates its preconditions (mirroring StrategyMatrix's
+// checks) BEFORE the first cached value changes: a mutation that throws must
+// leave both the matrix and the cache exactly as they were.
+
+void UtilityCache::add_radio(StrategyMatrix& strategies, UserId user,
+                             ChannelId channel) {
+  if (strategies.spare_radios(user) <= 0) {  // also validates the user id
+    throw std::logic_error("add_radio: user " + std::to_string(user) +
+                           " has no spare radio");
+  }
+  reprice_channel(strategies, user, channel, +1);
+  strategies.add_radio(user, channel);
+}
+
+void UtilityCache::remove_radio(StrategyMatrix& strategies, UserId user,
+                                ChannelId channel) {
+  if (strategies.at(user, channel) <= 0) {  // also validates both ids
+    throw std::logic_error("remove_radio: user " + std::to_string(user) +
+                           " has no radio on channel " +
+                           std::to_string(channel));
+  }
+  reprice_channel(strategies, user, channel, -1);
+  strategies.remove_radio(user, channel);
+}
+
+void UtilityCache::move_radio(StrategyMatrix& strategies, UserId user,
+                              ChannelId from, ChannelId to) {
+  if (strategies.at(user, from) <= 0) {
+    throw std::logic_error("move_radio: user " + std::to_string(user) +
+                           " has no radio on channel " +
+                           std::to_string(from));
+  }
+  (void)strategies.channel_load(to);  // validate `to` before any update
+  if (from == to) return;
+  reprice_channel(strategies, user, from, -1);
+  strategies.remove_radio(user, from);
+  reprice_channel(strategies, user, to, +1);
+  strategies.add_radio(user, to);
+}
+
+void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
+                           std::span<const RadioCount> new_row) {
+  (void)strategies.row(user);  // validates the user id
+  if (new_row.size() != num_channels_) {
+    throw std::invalid_argument("set_row: wrong row width");
+  }
+  RadioCount total = 0;
+  for (const RadioCount count : new_row) {
+    if (count < 0) throw std::invalid_argument("set_row: negative radio count");
+    total += count;
+  }
+  if (total > game_->config().radios_per_user) {
+    throw std::invalid_argument(
+        "set_row: user exceeds radio budget k=" +
+        std::to_string(game_->config().radios_per_user));
+  }
+  // Channel updates are additive and independent, so reprice every changed
+  // channel against the old matrix, then commit the row in one go.
+  for (ChannelId c = 0; c < num_channels_; ++c) {
+    reprice_channel(strategies, user, c, new_row[c] - strategies.at(user, c));
+  }
+  strategies.set_row(user, new_row);
+}
+
+double UtilityCache::max_drift(const StrategyMatrix& strategies) const {
+  double drift = std::abs(welfare_ - game_->welfare(strategies));
+  for (UserId i = 0; i < strategies.num_users(); ++i) {
+    drift = std::max(drift,
+                     std::abs(utilities_[i] - game_->utility(strategies, i)));
+  }
+  return drift;
+}
+
+void UtilityCache::insert_occupant(UserId user, ChannelId channel) {
+  position(user, channel) = occupants_[channel].size();
+  occupants_[channel].push_back(user);
+}
+
+void UtilityCache::erase_occupant(UserId user, ChannelId channel) {
+  auto& list = occupants_[channel];
+  const std::size_t at = position(user, channel);
+  const UserId moved = list.back();
+  list[at] = moved;
+  position(moved, channel) = at;
+  list.pop_back();
+  position(user, channel) = kNotOccupant;
+}
+
+}  // namespace mrca

@@ -7,81 +7,63 @@
 namespace mrca {
 namespace {
 
+// The scanning and DP code below is written once against a generic rate
+// lookup so the virtual-dispatch path (RateFunction) and the memoized path
+// (RateTable) produce bit-identical values from the same arithmetic.
+
+struct DirectRate {
+  const RateFunction* fn;
+  double operator()(RadioCount k) const { return fn->rate(k); }
+};
+
+struct TableRate {
+  const RateTable* table;
+  double operator()(RadioCount k) const { return table->rate(k); }
+};
+
 /// User's rate share on a channel with `own` of its radios among `load`
 /// total radios paying rate R(load). Zero own radios earn zero.
-double share(const RateFunction& rate_fn, RadioCount own, RadioCount load) {
+template <typename RateFn>
+double share(RateFn rate, RadioCount own, RadioCount load) {
   if (own <= 0 || load <= 0) return 0.0;
-  return static_cast<double>(own) / static_cast<double>(load) *
-         rate_fn.rate(load);
+  return static_cast<double>(own) / static_cast<double>(load) * rate(load);
 }
 
-}  // namespace
-
-std::string SingleChange::describe() const {
-  std::ostringstream out;
-  out << "user " << user << ": ";
-  switch (kind) {
-    case Kind::kMove:
-      out << "move radio " << from << " -> " << to;
-      break;
-    case Kind::kDeploy:
-      out << "deploy spare radio on " << to;
-      break;
-    case Kind::kPark:
-      out << "park radio from " << from;
-      break;
-  }
-  out << " (benefit " << benefit << ")";
-  return out.str();
-}
-
-double move_benefit(const Game& game, const StrategyMatrix& strategies,
-                    const RadioMove& move) {
-  game.check_compatible(strategies);
-  if (strategies.at(move.user, move.from) <= 0) {
-    throw std::logic_error("move_benefit: user has no radio on source channel");
-  }
+template <typename RateFn>
+double move_benefit_impl(const StrategyMatrix& strategies,
+                         const RadioMove& move, RateFn rate) {
   if (move.from == move.to) return 0.0;
-  const RateFunction& rate_fn = game.rate_function();
   const RadioCount own_from = strategies.at(move.user, move.from);
   const RadioCount own_to = strategies.at(move.user, move.to);
   const RadioCount load_from = strategies.channel_load(move.from);
   const RadioCount load_to = strategies.channel_load(move.to);
   const double before =
-      share(rate_fn, own_from, load_from) + share(rate_fn, own_to, load_to);
-  const double after = share(rate_fn, own_from - 1, load_from - 1) +
-                       share(rate_fn, own_to + 1, load_to + 1);
+      share(rate, own_from, load_from) + share(rate, own_to, load_to);
+  const double after = share(rate, own_from - 1, load_from - 1) +
+                       share(rate, own_to + 1, load_to + 1);
   return after - before;
 }
 
-double deploy_benefit(const Game& game, const StrategyMatrix& strategies,
-                      UserId user, ChannelId channel) {
-  game.check_compatible(strategies);
-  if (strategies.spare_radios(user) <= 0) {
-    throw std::logic_error("deploy_benefit: user has no spare radio");
-  }
-  const RateFunction& rate_fn = game.rate_function();
+template <typename RateFn>
+double deploy_benefit_impl(const StrategyMatrix& strategies, UserId user,
+                           ChannelId channel, RateFn rate) {
   const RadioCount own = strategies.at(user, channel);
   const RadioCount load = strategies.channel_load(channel);
-  return share(rate_fn, own + 1, load + 1) - share(rate_fn, own, load);
+  return share(rate, own + 1, load + 1) - share(rate, own, load);
 }
 
-double park_benefit(const Game& game, const StrategyMatrix& strategies,
-                    UserId user, ChannelId channel) {
-  game.check_compatible(strategies);
-  if (strategies.at(user, channel) <= 0) {
-    throw std::logic_error("park_benefit: user has no radio on that channel");
-  }
-  const RateFunction& rate_fn = game.rate_function();
+template <typename RateFn>
+double park_benefit_impl(const StrategyMatrix& strategies, UserId user,
+                         ChannelId channel, RateFn rate) {
   const RadioCount own = strategies.at(user, channel);
   const RadioCount load = strategies.channel_load(channel);
-  return share(rate_fn, own - 1, load - 1) - share(rate_fn, own, load);
+  return share(rate, own - 1, load - 1) - share(rate, own, load);
 }
 
-std::optional<SingleChange> best_single_change(const Game& game,
-                                               const StrategyMatrix& strategies,
-                                               UserId user, double tolerance) {
-  game.check_compatible(strategies);
+template <typename RateFn>
+std::optional<SingleChange> best_single_change_impl(
+    const StrategyMatrix& strategies, UserId user, double tolerance,
+    RateFn rate) {
   std::optional<SingleChange> best;
   auto consider = [&](SingleChange candidate) {
     if (candidate.benefit <= tolerance) return;
@@ -93,31 +75,32 @@ std::optional<SingleChange> best_single_change(const Game& game,
   for (ChannelId to = 0; to < channels; ++to) {
     if (has_spare) {
       consider({SingleChange::Kind::kDeploy, user, /*from=*/0, to,
-                deploy_benefit(game, strategies, user, to)});
+                deploy_benefit_impl(strategies, user, to, rate)});
     }
   }
   for (ChannelId from = 0; from < channels; ++from) {
     if (strategies.at(user, from) <= 0) continue;
     consider({SingleChange::Kind::kPark, user, from, /*to=*/0,
-              park_benefit(game, strategies, user, from)});
+              park_benefit_impl(strategies, user, from, rate)});
     for (ChannelId to = 0; to < channels; ++to) {
       if (to == from) continue;
       consider({SingleChange::Kind::kMove, user, from, to,
-                move_benefit(game, strategies, {user, from, to})});
+                move_benefit_impl(strategies, {user, from, to}, rate)});
     }
   }
   return best;
 }
 
-std::vector<SingleChange> improving_changes_for_user(
-    const Game& game, const StrategyMatrix& strategies, UserId user,
-    double tolerance) {
+template <typename RateFn>
+std::vector<SingleChange> improving_changes_impl(
+    const StrategyMatrix& strategies, UserId user, double tolerance,
+    RateFn rate) {
   std::vector<SingleChange> result;
   const std::size_t channels = strategies.num_channels();
   const bool has_spare = strategies.spare_radios(user) > 0;
   for (ChannelId to = 0; to < channels; ++to) {
     if (has_spare) {
-      const double benefit = deploy_benefit(game, strategies, user, to);
+      const double benefit = deploy_benefit_impl(strategies, user, to, rate);
       if (benefit > tolerance) {
         result.push_back({SingleChange::Kind::kDeploy, user, 0, to, benefit});
       }
@@ -125,13 +108,14 @@ std::vector<SingleChange> improving_changes_for_user(
   }
   for (ChannelId from = 0; from < channels; ++from) {
     if (strategies.at(user, from) <= 0) continue;
-    const double park = park_benefit(game, strategies, user, from);
+    const double park = park_benefit_impl(strategies, user, from, rate);
     if (park > tolerance) {
       result.push_back({SingleChange::Kind::kPark, user, from, 0, park});
     }
     for (ChannelId to = 0; to < channels; ++to) {
       if (to == from) continue;
-      const double benefit = move_benefit(game, strategies, {user, from, to});
+      const double benefit =
+          move_benefit_impl(strategies, {user, from, to}, rate);
       if (benefit > tolerance) {
         result.push_back(
             {SingleChange::Kind::kMove, user, from, to, benefit});
@@ -141,21 +125,10 @@ std::vector<SingleChange> improving_changes_for_user(
   return result;
 }
 
-std::vector<SingleChange> improving_single_changes(
-    const Game& game, const StrategyMatrix& strategies, double tolerance) {
-  std::vector<SingleChange> result;
-  for (UserId user = 0; user < strategies.num_users(); ++user) {
-    auto per_user =
-        improving_changes_for_user(game, strategies, user, tolerance);
-    result.insert(result.end(), per_user.begin(), per_user.end());
-  }
-  return result;
-}
-
-BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
-                           UserId user) {
-  game.check_compatible(strategies);
-  const RateFunction& rate_fn = game.rate_function();
+template <typename RateFn>
+BestResponse best_response_impl(const Game& game,
+                                const StrategyMatrix& strategies, UserId user,
+                                RateFn rate) {
   const std::size_t channels = strategies.num_channels();
   const auto budget = static_cast<std::size_t>(game.config().radios_per_user);
 
@@ -173,7 +146,7 @@ BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
       const auto load =
           opponent_load[c] + static_cast<RadioCount>(x);
       gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                   rate_fn.rate(load);
+                   rate(load);
     }
   }
 
@@ -211,6 +184,113 @@ BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
     remaining -= x;
   }
   return response;
+}
+
+}  // namespace
+
+std::string SingleChange::describe() const {
+  std::ostringstream out;
+  out << "user " << user << ": ";
+  switch (kind) {
+    case Kind::kMove:
+      out << "move radio " << from << " -> " << to;
+      break;
+    case Kind::kDeploy:
+      out << "deploy spare radio on " << to;
+      break;
+    case Kind::kPark:
+      out << "park radio from " << from;
+      break;
+  }
+  out << " (benefit " << benefit << ")";
+  return out.str();
+}
+
+double move_benefit(const Game& game, const StrategyMatrix& strategies,
+                    const RadioMove& move) {
+  game.check_compatible(strategies);
+  if (strategies.at(move.user, move.from) <= 0) {
+    throw std::logic_error("move_benefit: user has no radio on source channel");
+  }
+  return move_benefit_impl(strategies, move,
+                           DirectRate{&game.rate_function()});
+}
+
+double deploy_benefit(const Game& game, const StrategyMatrix& strategies,
+                      UserId user, ChannelId channel) {
+  game.check_compatible(strategies);
+  if (strategies.spare_radios(user) <= 0) {
+    throw std::logic_error("deploy_benefit: user has no spare radio");
+  }
+  return deploy_benefit_impl(strategies, user, channel,
+                             DirectRate{&game.rate_function()});
+}
+
+double park_benefit(const Game& game, const StrategyMatrix& strategies,
+                    UserId user, ChannelId channel) {
+  game.check_compatible(strategies);
+  if (strategies.at(user, channel) <= 0) {
+    throw std::logic_error("park_benefit: user has no radio on that channel");
+  }
+  return park_benefit_impl(strategies, user, channel,
+                           DirectRate{&game.rate_function()});
+}
+
+std::optional<SingleChange> best_single_change(const Game& game,
+                                               const StrategyMatrix& strategies,
+                                               UserId user, double tolerance) {
+  game.check_compatible(strategies);
+  return best_single_change_impl(strategies, user, tolerance,
+                                 DirectRate{&game.rate_function()});
+}
+
+std::optional<SingleChange> best_single_change(const Game& game,
+                                               const StrategyMatrix& strategies,
+                                               UserId user, double tolerance,
+                                               const RateTable& rates) {
+  game.check_compatible(strategies);
+  return best_single_change_impl(strategies, user, tolerance,
+                                 TableRate{&rates});
+}
+
+std::vector<SingleChange> improving_changes_for_user(
+    const Game& game, const StrategyMatrix& strategies, UserId user,
+    double tolerance) {
+  game.check_compatible(strategies);
+  return improving_changes_impl(strategies, user, tolerance,
+                                DirectRate{&game.rate_function()});
+}
+
+std::vector<SingleChange> improving_changes_for_user(
+    const Game& game, const StrategyMatrix& strategies, UserId user,
+    double tolerance, const RateTable& rates) {
+  game.check_compatible(strategies);
+  return improving_changes_impl(strategies, user, tolerance,
+                                TableRate{&rates});
+}
+
+std::vector<SingleChange> improving_single_changes(
+    const Game& game, const StrategyMatrix& strategies, double tolerance) {
+  std::vector<SingleChange> result;
+  for (UserId user = 0; user < strategies.num_users(); ++user) {
+    auto per_user =
+        improving_changes_for_user(game, strategies, user, tolerance);
+    result.insert(result.end(), per_user.begin(), per_user.end());
+  }
+  return result;
+}
+
+BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
+                           UserId user) {
+  game.check_compatible(strategies);
+  return best_response_impl(game, strategies, user,
+                            DirectRate{&game.rate_function()});
+}
+
+BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
+                           UserId user, const RateTable& rates) {
+  game.check_compatible(strategies);
+  return best_response_impl(game, strategies, user, TableRate{&rates});
 }
 
 double utility_if_played(const Game& game, const StrategyMatrix& strategies,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/rate_table.h"
 #include "core/strategy.h"
 #include "core/types.h"
 
@@ -55,6 +56,13 @@ std::optional<SingleChange> best_single_change(
     const Game& game, const StrategyMatrix& strategies, UserId user,
     double tolerance = kUtilityTolerance);
 
+/// Same scan through a memoized RateTable (bit-identical benefits, no
+/// virtual dispatch in the O(|C|^2) inner loop) — the dynamics' hot path.
+std::optional<SingleChange> best_single_change(const Game& game,
+                                               const StrategyMatrix& strategies,
+                                               UserId user, double tolerance,
+                                               const RateTable& rates);
+
 /// All strictly-improving single-radio changes of every user (diagnostics).
 std::vector<SingleChange> improving_single_changes(
     const Game& game, const StrategyMatrix& strategies,
@@ -64,6 +72,11 @@ std::vector<SingleChange> improving_single_changes(
 std::vector<SingleChange> improving_changes_for_user(
     const Game& game, const StrategyMatrix& strategies, UserId user,
     double tolerance = kUtilityTolerance);
+
+/// RateTable-backed variant (bit-identical results).
+std::vector<SingleChange> improving_changes_for_user(
+    const Game& game, const StrategyMatrix& strategies, UserId user,
+    double tolerance, const RateTable& rates);
 
 /// Result of an exact best-response computation.
 struct BestResponse {
@@ -81,6 +94,11 @@ struct BestResponse {
 /// partial deployment (Figure 1's users with parked radios are in-scope).
 BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
                            UserId user);
+
+/// RateTable-backed variant: the O(|C| * k) gain table is filled from the
+/// memoized rates (bit-identical DP values).
+BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
+                           UserId user, const RateTable& rates);
 
 /// Utility user would get from `row` holding everyone else fixed.
 double utility_if_played(const Game& game, const StrategyMatrix& strategies,

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/table.h"
+
 namespace mrca {
 
 std::string render_matrix(const StrategyMatrix& strategies) {
@@ -31,7 +33,7 @@ std::string render_occupancy(const StrategyMatrix& strategies) {
   for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
     for (UserId i = 0; i < strategies.num_users(); ++i) {
       for (RadioCount r = 0; r < strategies.at(i, c); ++r) {
-        stacks[c].push_back("u" + std::to_string(i + 1));
+        stacks[c].push_back(Table::label("u", i + 1));
       }
     }
   }

@@ -1,0 +1,273 @@
+#include "engine/sweep.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/alloc/random_alloc.h"
+#include "core/alloc/sequential.h"
+#include "core/alloc/utility_cache.h"
+#include "core/analysis/efficiency.h"
+#include "core/game.h"
+#include "core/strategy.h"
+#include "engine/thread_pool.h"
+
+namespace mrca::engine {
+namespace {
+
+/// Everything a single run reports back; plain values so tasks can fill
+/// their slots without synchronization.
+struct RunOutcome {
+  bool converged = false;
+  double activations = 0.0;
+  double improving_steps = 0.0;
+  double welfare = 0.0;
+  double efficiency = 0.0;
+  double anarchy_ratio = 0.0;  // valid only when welfare > 0
+  double fairness = 0.0;
+  double load_imbalance = 0.0;
+};
+
+StrategyMatrix make_start(const Game& game, SweepStart start, Rng& rng) {
+  switch (start) {
+    case SweepStart::kEmpty:
+      return game.empty_strategy();
+    case SweepStart::kRandomFull:
+      return random_full_allocation(game, rng);
+    case SweepStart::kRandomPartial:
+      return random_partial_allocation(game, rng);
+    case SweepStart::kSequentialNe: {
+      // Thread the utility cache through Algorithm 1 (cheap here, but this
+      // is the same path the incremental engine API exposes to users).
+      StrategyMatrix strategies = game.empty_strategy();
+      UtilityCache cache(game, strategies);
+      for (UserId user = 0; user < game.config().num_users; ++user) {
+        allocate_user_sequentially(game, strategies, user,
+                                   TieBreak::kLowestIndex, &rng, &cache);
+      }
+      return strategies;
+    }
+  }
+  throw std::logic_error("run_sweep: unknown start kind");
+}
+
+RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
+                   std::uint64_t seed) {
+  const Game game(GameConfig(cell.users, cell.channels, cell.radios),
+                  cell.rate.make());
+  Rng rng(seed);
+  const StrategyMatrix start = make_start(game, cell.start, rng);
+
+  DynamicsOptions options;
+  options.granularity = cell.granularity;
+  options.order = cell.order;
+  options.max_activations = spec.max_activations;
+  options.tolerance = spec.tolerance;
+  const DynamicsResult result =
+      run_response_dynamics(game, start, options, &rng);
+
+  RunOutcome outcome;
+  outcome.converged = result.converged;
+  outcome.activations = static_cast<double>(result.activations);
+  outcome.improving_steps = static_cast<double>(result.improving_steps);
+  outcome.welfare = game.welfare(result.final_state);
+  const double optimal = game.optimal_welfare();
+  outcome.efficiency = optimal > 0.0 ? outcome.welfare / optimal : 0.0;
+  if (outcome.welfare > 0.0) {
+    outcome.anarchy_ratio = optimal / outcome.welfare;
+  }
+  outcome.fairness = utility_fairness(game, result.final_state);
+  outcome.load_imbalance =
+      static_cast<double>(load_imbalance(result.final_state));
+  return outcome;
+}
+
+}  // namespace
+
+std::string RateSpec::name() const {
+  // Shortest representation that round-trips the double exactly, so
+  // parse(name()) is the identity and distinct cells never collide in
+  // CSV/JSON output.
+  auto trimmed = [](double value) {
+    std::array<char, 32> buffer;
+    const auto [end, ec] =
+        std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+    return ec == std::errc{} ? std::string(buffer.data(), end)
+                             : std::string("nan");
+  };
+  switch (kind) {
+    case Kind::kConstant:
+      return "tdma";
+    case Kind::kPowerLaw:
+      return "powerlaw=" + trimmed(param);
+    case Kind::kGeometricDecay:
+      return "geom=" + trimmed(param);
+    case Kind::kLinearDecay:
+      return "linear=" + trimmed(param);
+  }
+  throw std::logic_error("RateSpec: unknown kind");
+}
+
+std::shared_ptr<const RateFunction> RateSpec::make() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return std::make_shared<ConstantRate>(nominal);
+    case Kind::kPowerLaw:
+      return std::make_shared<PowerLawRate>(nominal, param);
+    case Kind::kGeometricDecay:
+      return std::make_shared<GeometricDecayRate>(nominal, param);
+    case Kind::kLinearDecay:
+      return std::make_shared<LinearDecayRate>(nominal, param);
+  }
+  throw std::logic_error("RateSpec: unknown kind");
+}
+
+RateSpec RateSpec::parse(const std::string& text) {
+  // Strict: the parameter must be a finite double with no trailing junk,
+  // so "powerlaw=1x" or "geom=nan" are rejected rather than truncated.
+  auto value_after = [&](std::size_t prefix_length) {
+    const char* begin = text.c_str() + prefix_length;
+    const char* end = text.c_str() + text.size();
+    double value = 0.0;
+    const auto [parsed_end, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || parsed_end != end || !std::isfinite(value)) {
+      throw std::invalid_argument("RateSpec: bad parameter in '" + text +
+                                  "'");
+    }
+    return value;
+  };
+  if (text == "tdma" || text == "const") return RateSpec{};
+  if (text.rfind("powerlaw=", 0) == 0) {
+    return RateSpec{Kind::kPowerLaw, 1.0, value_after(9)};
+  }
+  if (text.rfind("geom=", 0) == 0) {
+    return RateSpec{Kind::kGeometricDecay, 1.0, value_after(5)};
+  }
+  if (text.rfind("linear=", 0) == 0) {
+    return RateSpec{Kind::kLinearDecay, 1.0, value_after(7)};
+  }
+  throw std::invalid_argument("RateSpec: unknown rate spec '" + text + "'");
+}
+
+const char* to_string(SweepStart start) {
+  switch (start) {
+    case SweepStart::kEmpty: return "empty";
+    case SweepStart::kRandomFull: return "random";
+    case SweepStart::kRandomPartial: return "partial";
+    case SweepStart::kSequentialNe: return "ne";
+  }
+  return "?";
+}
+
+const char* to_string(ResponseGranularity granularity) {
+  switch (granularity) {
+    case ResponseGranularity::kBestResponse: return "best";
+    case ResponseGranularity::kBestSingleMove: return "single";
+    case ResponseGranularity::kRandomImprovingMove: return "random-move";
+  }
+  return "?";
+}
+
+const char* to_string(ActivationOrder order) {
+  switch (order) {
+    case ActivationOrder::kRoundRobin: return "rr";
+    case ActivationOrder::kUniformRandom: return "random";
+  }
+  return "?";
+}
+
+std::size_t SweepSpec::grid_size() const noexcept {
+  return users.size() * channels.size() * radios.size() * rates.size() *
+         granularities.size() * orders.size() * starts.size();
+}
+
+std::vector<SweepSpec::Cell> SweepSpec::expand() const {
+  std::vector<Cell> cells;
+  cells.reserve(grid_size());
+  for (const std::size_t n : users) {
+    for (const std::size_t c : channels) {
+      for (const RadioCount k : radios) {
+        if (k < 1 || static_cast<std::size_t>(k) > c) continue;
+        for (const RateSpec& rate : rates) {
+          for (const ResponseGranularity granularity : granularities) {
+            for (const ActivationOrder order : orders) {
+              for (const SweepStart start : starts) {
+                Cell cell;
+                cell.users = n;
+                cell.channels = c;
+                cell.radios = k;
+                cell.rate = rate;
+                cell.granularity = granularity;
+                cell.order = order;
+                cell.start = start;
+                cell.index = cells.size();
+                cells.push_back(cell);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t cell_index,
+                              std::size_t replicate) {
+  // Two chained SplitMix64 rounds decorrelate the coordinates; the result
+  // depends only on (base_seed, cell_index, replicate).
+  SplitMix64 first(base_seed ^ (0x9e3779b97f4a7c15ULL * (cell_index + 1)));
+  SplitMix64 second(first.next() ^
+                    (0xd1b54a32d192ed03ULL * (replicate + 1)));
+  return second.next();
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  if (spec.replicates == 0) {
+    throw std::invalid_argument("run_sweep: replicates must be >= 1");
+  }
+  const std::vector<SweepSpec::Cell> cells = spec.expand();
+  const std::size_t total_runs = cells.size() * spec.replicates;
+
+  // One pre-allocated slot per task; workers never touch shared state.
+  std::vector<RunOutcome> outcomes(total_runs);
+  const std::size_t workers =
+      parallel_for(total_runs, options.threads, [&](std::size_t task) {
+        const std::size_t cell_index = task / spec.replicates;
+        const std::size_t replicate = task % spec.replicates;
+        outcomes[task] =
+            run_one(spec, cells[cell_index],
+                    derive_run_seed(spec.base_seed, cell_index, replicate));
+      });
+
+  // Sequential aggregation in task order: bit-identical at any thread count.
+  SweepResult result;
+  result.total_runs = total_runs;
+  result.threads_used = workers;
+  result.cells.reserve(cells.size());
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    CellResult aggregate;
+    aggregate.cell = cells[ci];
+    for (std::size_t r = 0; r < spec.replicates; ++r) {
+      const RunOutcome& outcome = outcomes[ci * spec.replicates + r];
+      ++aggregate.runs;
+      if (outcome.converged) ++aggregate.converged;
+      aggregate.activations.add(outcome.activations);
+      aggregate.improving_steps.add(outcome.improving_steps);
+      aggregate.welfare.add(outcome.welfare);
+      aggregate.efficiency.add(outcome.efficiency);
+      if (outcome.welfare > 0.0) {
+        aggregate.anarchy_ratio.add(outcome.anarchy_ratio);
+      }
+      aggregate.fairness.add(outcome.fairness);
+      aggregate.load_imbalance.add(outcome.load_imbalance);
+    }
+    result.cells.push_back(std::move(aggregate));
+  }
+  return result;
+}
+
+}  // namespace mrca::engine

@@ -1,0 +1,136 @@
+// Parallel batch-experiment engine: expand a cartesian parameter grid into
+// thousands of independent game runs, execute them across a worker pool, and
+// aggregate per-cell statistics.
+//
+// Determinism contract: every run's RNG seed is a pure function of
+// (base_seed, cell index, replicate index), each run writes only its own
+// pre-allocated slot, and aggregation walks the slots in task order after
+// the pool joins — so the full SweepResult is bit-identical at any thread
+// count. This is the regime of large-scale allocation studies (e.g.
+// Bistritz & Leshem's asymptotic analyses) where one parameter point says
+// nothing and the (N, C, k, R, dynamics) response surface is the object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/alloc/best_response.h"
+#include "core/rate_function.h"
+#include "core/types.h"
+
+namespace mrca::engine {
+
+/// Value-type description of a rate function, so a SweepSpec is copyable,
+/// comparable and printable without touching polymorphic objects.
+struct RateSpec {
+  enum class Kind { kConstant, kPowerLaw, kGeometricDecay, kLinearDecay };
+
+  Kind kind = Kind::kConstant;
+  double nominal = 1.0;
+  /// alpha for kPowerLaw, decay for kGeometricDecay, slope for kLinearDecay;
+  /// ignored for kConstant.
+  double param = 0.0;
+
+  /// Short spec string, e.g. "tdma", "powerlaw=1", "geom=0.9", "linear=0.1".
+  std::string name() const;
+  std::shared_ptr<const RateFunction> make() const;
+
+  /// Parses the name() format (also accepts "const" for "tdma").
+  /// Throws std::invalid_argument on unknown specs.
+  static RateSpec parse(const std::string& text);
+
+  friend bool operator==(const RateSpec&, const RateSpec&) = default;
+};
+
+/// How each run's starting allocation is drawn.
+enum class SweepStart {
+  kEmpty,         // all radios parked (Lemma 1 territory)
+  kRandomFull,    // every radio on a uniform channel
+  kRandomPartial, // random subset deployed
+  kSequentialNe,  // Algorithm 1's NE (dynamics should stay put)
+};
+
+const char* to_string(SweepStart start);
+const char* to_string(ResponseGranularity granularity);
+const char* to_string(ActivationOrder order);
+
+/// Cartesian grid over game and dynamics parameters. Combinations violating
+/// the model constraint k <= |C| are skipped during expansion.
+struct SweepSpec {
+  std::vector<std::size_t> users{4};
+  std::vector<std::size_t> channels{4};
+  std::vector<RadioCount> radios{1};
+  std::vector<RateSpec> rates{RateSpec{}};
+  std::vector<ResponseGranularity> granularities{
+      ResponseGranularity::kBestResponse};
+  std::vector<ActivationOrder> orders{ActivationOrder::kRoundRobin};
+  std::vector<SweepStart> starts{SweepStart::kRandomFull};
+  /// Independent runs per cell (distinct seed streams).
+  std::size_t replicates = 1;
+  std::uint64_t base_seed = 1;
+  std::size_t max_activations = 100000;
+  double tolerance = kUtilityTolerance;
+
+  /// One point of the expanded grid.
+  struct Cell {
+    std::size_t users = 0;
+    std::size_t channels = 0;
+    RadioCount radios = 0;
+    RateSpec rate;
+    ResponseGranularity granularity = ResponseGranularity::kBestResponse;
+    ActivationOrder order = ActivationOrder::kRoundRobin;
+    SweepStart start = SweepStart::kRandomFull;
+    /// Position in the expanded (valid-only) grid.
+    std::size_t index = 0;
+  };
+
+  /// All grid combinations including invalid ones (k > |C|).
+  std::size_t grid_size() const noexcept;
+
+  /// The valid cells in a fixed nesting order (users outermost, starts
+  /// innermost) — the order is part of the determinism contract.
+  std::vector<Cell> expand() const;
+};
+
+/// Per-cell aggregate over the cell's replicates.
+struct CellResult {
+  SweepSpec::Cell cell;
+  std::size_t runs = 0;
+  std::size_t converged = 0;
+  RunningStats activations;
+  RunningStats improving_steps;
+  RunningStats welfare;
+  /// welfare / optimal_welfare in [0, 1].
+  RunningStats efficiency;
+  /// optimal_welfare / welfare (empirical anarchy ratio; the paper's PoA is
+  /// this value at a NE). Only defined for runs with positive welfare.
+  RunningStats anarchy_ratio;
+  /// Jain fairness over final per-user utilities.
+  RunningStats fairness;
+  /// max - min channel load of the final allocation.
+  RunningStats load_imbalance;
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;
+  std::size_t total_runs = 0;
+  std::size_t threads_used = 1;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t threads = 1;
+};
+
+/// Deterministic per-run seed: a pure function of the sweep seed and the
+/// task coordinates, independent of scheduling.
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t cell_index,
+                              std::size_t replicate);
+
+/// Expands the spec and runs every (cell, replicate) task across the pool.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+}  // namespace mrca::engine

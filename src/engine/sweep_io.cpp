@@ -1,0 +1,147 @@
+#include "engine/sweep_io.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.h"
+
+namespace mrca::engine {
+namespace {
+
+/// 17 significant digits round-trip any double exactly.
+std::string full_precision(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') escaped += '\\';
+    escaped += ch;
+  }
+  return escaped;
+}
+
+void append_stats_json(std::ostringstream& out, const char* key,
+                       const RunningStats& stats) {
+  out << '"' << key << "\":{\"count\":" << stats.count()
+      << ",\"mean\":" << full_precision(stats.mean())
+      << ",\"stddev\":" << full_precision(stats.stddev())
+      << ",\"min\":" << full_precision(stats.empty() ? 0.0 : stats.min())
+      << ",\"max\":" << full_precision(stats.empty() ? 0.0 : stats.max())
+      << '}';
+}
+
+}  // namespace
+
+SweepFormat parse_sweep_format(const std::string& text) {
+  if (text == "table") return SweepFormat::kTable;
+  if (text == "csv") return SweepFormat::kCsv;
+  if (text == "json") return SweepFormat::kJson;
+  throw std::invalid_argument("unknown sweep format '" + text + "'");
+}
+
+std::string sweep_to_csv(const SweepResult& result) {
+  std::ostringstream out;
+  out << "cell,users,channels,radios,rate,granularity,order,start,runs,"
+         "converged,activations_mean,activations_stddev,improving_mean,"
+         "welfare_mean,welfare_min,welfare_max,efficiency_mean,"
+         "anarchy_ratio_mean,fairness_mean,load_imbalance_mean\n";
+  for (const CellResult& cell : result.cells) {
+    out << cell.cell.index << ',' << cell.cell.users << ','
+        << cell.cell.channels << ',' << cell.cell.radios << ','
+        << cell.cell.rate.name() << ',' << to_string(cell.cell.granularity)
+        << ',' << to_string(cell.cell.order) << ','
+        << to_string(cell.cell.start) << ',' << cell.runs << ','
+        << cell.converged << ',' << full_precision(cell.activations.mean())
+        << ',' << full_precision(cell.activations.stddev()) << ','
+        << full_precision(cell.improving_steps.mean()) << ','
+        << full_precision(cell.welfare.mean()) << ','
+        << full_precision(cell.welfare.empty() ? 0.0 : cell.welfare.min())
+        << ','
+        << full_precision(cell.welfare.empty() ? 0.0 : cell.welfare.max())
+        << ',' << full_precision(cell.efficiency.mean()) << ','
+        << full_precision(cell.anarchy_ratio.mean()) << ','
+        << full_precision(cell.fairness.mean()) << ','
+        << full_precision(cell.load_imbalance.mean()) << '\n';
+  }
+  return out.str();
+}
+
+std::string sweep_to_json(const SweepResult& result) {
+  std::ostringstream out;
+  out << "{\"total_runs\":" << result.total_runs
+      << ",\"cells\":[";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    if (i) out << ',';
+    out << "{\"cell\":" << cell.cell.index
+        << ",\"users\":" << cell.cell.users
+        << ",\"channels\":" << cell.cell.channels
+        << ",\"radios\":" << cell.cell.radios << ",\"rate\":\""
+        << json_escape(cell.cell.rate.name()) << "\",\"granularity\":\""
+        << to_string(cell.cell.granularity) << "\",\"order\":\""
+        << to_string(cell.cell.order) << "\",\"start\":\""
+        << to_string(cell.cell.start) << "\",\"runs\":" << cell.runs
+        << ",\"converged\":" << cell.converged << ',';
+    append_stats_json(out, "activations", cell.activations);
+    out << ',';
+    append_stats_json(out, "improving_steps", cell.improving_steps);
+    out << ',';
+    append_stats_json(out, "welfare", cell.welfare);
+    out << ',';
+    append_stats_json(out, "efficiency", cell.efficiency);
+    out << ',';
+    append_stats_json(out, "anarchy_ratio", cell.anarchy_ratio);
+    out << ',';
+    append_stats_json(out, "fairness", cell.fairness);
+    out << ',';
+    append_stats_json(out, "load_imbalance", cell.load_imbalance);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string sweep_to_table(const SweepResult& result) {
+  Table table({"N", "C", "k", "rate", "dyn", "order", "start", "conv",
+               "activations", "welfare", "efficiency", "PoA", "fairness"});
+  for (const CellResult& cell : result.cells) {
+    std::string converged = std::to_string(cell.converged);
+    converged += '/';
+    converged += std::to_string(cell.runs);
+    table.add_row({Table::fmt(cell.cell.users), Table::fmt(cell.cell.channels),
+                   Table::fmt(cell.cell.radios), cell.cell.rate.name(),
+                   to_string(cell.cell.granularity),
+                   to_string(cell.cell.order), to_string(cell.cell.start),
+                   std::move(converged), Table::fmt(cell.activations.mean(), 1),
+                   Table::fmt(cell.welfare.mean(), 4),
+                   Table::fmt(cell.efficiency.mean(), 4),
+                   Table::fmt(cell.anarchy_ratio.mean(), 4),
+                   Table::fmt(cell.fairness.mean(), 4)});
+  }
+  return table.to_ascii();
+}
+
+void write_sweep(std::ostream& out, const SweepResult& result,
+                 SweepFormat format) {
+  switch (format) {
+    case SweepFormat::kTable:
+      out << sweep_to_table(result);
+      return;
+    case SweepFormat::kCsv:
+      out << sweep_to_csv(result);
+      return;
+    case SweepFormat::kJson:
+      out << sweep_to_json(result) << '\n';
+      return;
+  }
+  throw std::logic_error("write_sweep: unknown format");
+}
+
+}  // namespace mrca::engine

@@ -1,0 +1,27 @@
+// Serialization of sweep results for downstream tooling: RFC-4180-ish CSV
+// (one row per cell) and a JSON document. Doubles are printed with 17
+// significant digits so serialized output is itself a bit-determinism
+// witness: two runs agree iff their serializations agree byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/sweep.h"
+
+namespace mrca::engine {
+
+enum class SweepFormat { kTable, kCsv, kJson };
+
+/// Parses "table" | "csv" | "json"; throws std::invalid_argument otherwise.
+SweepFormat parse_sweep_format(const std::string& text);
+
+std::string sweep_to_csv(const SweepResult& result);
+std::string sweep_to_json(const SweepResult& result);
+/// Human-readable aligned table (common/table).
+std::string sweep_to_table(const SweepResult& result);
+
+void write_sweep(std::ostream& out, const SweepResult& result,
+                 SweepFormat format);
+
+}  // namespace mrca::engine

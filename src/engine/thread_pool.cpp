@@ -1,0 +1,53 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrca::engine {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+std::size_t parallel_for(std::size_t count, std::size_t threads,
+                         const std::function<void(std::size_t)>& body) {
+  const std::size_t workers = std::min(resolve_thread_count(threads), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return 1;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // stop new pickups
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (auto& worker : pool) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return workers;
+}
+
+}  // namespace mrca::engine

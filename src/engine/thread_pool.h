@@ -1,0 +1,28 @@
+// Minimal fork-join worker pool for the batch-experiment engine.
+//
+// The engine's unit of work is one independent game run writing into its own
+// pre-allocated result slot, so the pool only needs an indexed parallel-for:
+// workers pull task indices from a shared atomic counter until the range is
+// drained. Determinism is the caller's job and is easy under this contract —
+// output depends only on the task index, never on which worker ran it or in
+// what order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mrca::engine {
+
+/// Number of workers `parallel_for` uses for `requested` (0 = one per
+/// hardware thread, min 1).
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Runs body(i) for every i in [0, count), spread over `threads` workers
+/// (resolved via resolve_thread_count, never more than count, min 1). With
+/// one worker (or count <= 1) the loop runs inline. If any body throws, the
+/// first exception is rethrown on the caller's thread after all workers stop
+/// picking up new work. Returns the number of workers actually used.
+std::size_t parallel_for(std::size_t count, std::size_t threads,
+                         const std::function<void(std::size_t)>& body);
+
+}  // namespace mrca::engine

@@ -19,6 +19,7 @@
 #include "core/alloc/distributed.h"     // IWYU pragma: export
 #include "core/alloc/random_alloc.h"    // IWYU pragma: export
 #include "core/alloc/sequential.h"      // IWYU pragma: export
+#include "core/alloc/utility_cache.h"   // IWYU pragma: export
 #include "core/analysis/deviation.h"    // IWYU pragma: export
 #include "core/analysis/efficiency.h"   // IWYU pragma: export
 #include "core/analysis/lemmas.h"       // IWYU pragma: export
@@ -31,8 +32,12 @@
 #include "core/io.h"             // IWYU pragma: export
 #include "core/potential.h"      // IWYU pragma: export
 #include "core/rate_function.h"  // IWYU pragma: export
+#include "core/rate_table.h"     // IWYU pragma: export
 #include "core/strategy.h"       // IWYU pragma: export
 #include "core/types.h"          // IWYU pragma: export
+#include "engine/sweep.h"        // IWYU pragma: export
+#include "engine/sweep_io.h"     // IWYU pragma: export
+#include "engine/thread_pool.h"  // IWYU pragma: export
 #include "mac/bianchi.h"         // IWYU pragma: export
 #include "mac/dcf_parameters.h"  // IWYU pragma: export
 #include "mac/tdma.h"            // IWYU pragma: export

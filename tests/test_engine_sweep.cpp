@@ -1,0 +1,225 @@
+#include "engine/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/analysis/efficiency.h"
+#include "engine/sweep_io.h"
+#include "engine/thread_pool.h"
+#include "test_util.h"
+
+namespace mrca {
+namespace {
+
+using engine::CellResult;
+using engine::RateSpec;
+using engine::SweepOptions;
+using engine::SweepResult;
+using engine::SweepSpec;
+using engine::SweepStart;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.users = {3, 4, 6};
+  spec.channels = {3, 5};
+  spec.radios = {1, 2, 3};
+  spec.rates = {RateSpec{},
+                RateSpec{RateSpec::Kind::kPowerLaw, 1.0, 1.0}};
+  spec.granularities = {ResponseGranularity::kBestResponse,
+                        ResponseGranularity::kBestSingleMove};
+  spec.orders = {ActivationOrder::kRoundRobin,
+                 ActivationOrder::kUniformRandom};
+  spec.starts = {SweepStart::kRandomFull};
+  spec.replicates = 2;
+  spec.base_seed = 31337;
+  return spec;
+}
+
+bool identical(const SweepResult& a, const SweepResult& b) {
+  if (a.total_runs != b.total_runs) return false;
+  if (a.cells.size() != b.cells.size()) return false;
+  // The serializations print every double at 17 significant digits, so
+  // byte-equality here is bit-equality of the aggregates.
+  return engine::sweep_to_csv(a) == engine::sweep_to_csv(b) &&
+         engine::sweep_to_json(a) == engine::sweep_to_json(b);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    engine::parallel_for(hits.size(), threads,
+                         [&](std::size_t i) { ++hits[i]; });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      engine::parallel_for(64, 4,
+                           [](std::size_t i) {
+                             if (i == 13) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+}
+
+TEST(SweepSpec, ExpansionSkipsInvalidCombosAndKeepsStableOrder) {
+  SweepSpec spec;
+  spec.users = {2};
+  spec.channels = {2, 4};
+  spec.radios = {1, 3};
+  const auto cells = spec.expand();
+  // (C=2, k=3) violates k <= |C| and must be skipped.
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(spec.grid_size(), 4u);
+  EXPECT_EQ(cells[0].channels, 2u);
+  EXPECT_EQ(cells[0].radios, 1);
+  EXPECT_EQ(cells[1].channels, 4u);
+  EXPECT_EQ(cells[1].radios, 1);
+  EXPECT_EQ(cells[2].channels, 4u);
+  EXPECT_EQ(cells[2].radios, 3);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(SweepSeeds, AreUniqueAcrossTaskCoordinates) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t cell = 0; cell < 200; ++cell) {
+    for (std::size_t rep = 0; rep < 10; ++rep) {
+      seen.insert(engine::derive_run_seed(7, cell, rep));
+    }
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(RateSpecRoundTrip, ParseOfNameIsIdentity) {
+  const std::vector<RateSpec> specs = {
+      RateSpec{},
+      RateSpec{RateSpec::Kind::kPowerLaw, 1.0, 1.0},
+      RateSpec{RateSpec::Kind::kGeometricDecay, 1.0, 0.9},
+      RateSpec{RateSpec::Kind::kGeometricDecay, 1.0, 0.12345678901234567},
+      RateSpec{RateSpec::Kind::kLinearDecay, 1.0, 0.05},
+  };
+  for (const RateSpec& spec : specs) {
+    EXPECT_EQ(RateSpec::parse(spec.name()), spec) << spec.name();
+  }
+  EXPECT_THROW(RateSpec::parse("bogus"), std::invalid_argument);
+}
+
+/// The determinism contract of the tentpole: identical SweepSpec + seed
+/// produce bit-identical aggregates at 1, 4 and hardware_concurrency()
+/// threads.
+TEST(Sweep, BitIdenticalAggregatesAtAnyThreadCount) {
+  const SweepSpec spec = small_spec();
+  const SweepResult baseline = engine::run_sweep(spec, SweepOptions{1});
+  EXPECT_EQ(baseline.total_runs,
+            spec.expand().size() * spec.replicates);
+
+  const SweepResult four_threads = engine::run_sweep(spec, SweepOptions{4});
+  EXPECT_TRUE(identical(baseline, four_threads));
+
+  const SweepResult hardware = engine::run_sweep(spec, SweepOptions{0});
+  EXPECT_TRUE(identical(baseline, hardware));
+}
+
+TEST(Sweep, BaseSeedChangesRandomStartOutcomes) {
+  SweepSpec spec;
+  spec.users = {6};
+  spec.channels = {4};
+  spec.radios = {2};
+  spec.rates = {RateSpec{RateSpec::Kind::kPowerLaw, 1.0, 1.0}};
+  spec.replicates = 8;
+  spec.base_seed = 1;
+  const SweepResult a = engine::run_sweep(spec);
+  spec.base_seed = 2;
+  const SweepResult b = engine::run_sweep(spec);
+  // Different seeds must actually draw different trajectories (activation
+  // counts differ with overwhelming probability over 8 replicates).
+  EXPECT_NE(a.cells[0].activations.mean(), b.cells[0].activations.mean());
+}
+
+TEST(Sweep, SequentialNeStartIsAlreadyStable) {
+  SweepSpec spec;
+  spec.users = {4, 6};
+  spec.channels = {4};
+  spec.radios = {2};
+  spec.starts = {SweepStart::kSequentialNe};
+  spec.replicates = 3;
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.converged, cell.runs);
+    EXPECT_EQ(cell.improving_steps.mean(), 0.0);
+    const Game game(
+        GameConfig(cell.cell.users, cell.cell.channels, cell.cell.radios),
+        cell.cell.rate.make());
+    EXPECT_NEAR(cell.welfare.mean(), nash_welfare(game), 1e-12);
+  }
+}
+
+TEST(Sweep, ConstantRateConflictRegimeHasUnitAnarchyRatio) {
+  // Theorem 2: with constant R every NE is system-optimal.
+  SweepSpec spec;
+  spec.users = {4, 8};
+  spec.channels = {4};
+  spec.radios = {2};
+  spec.replicates = 4;
+  const SweepResult result = engine::run_sweep(spec);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.converged, cell.runs);
+    EXPECT_NEAR(cell.anarchy_ratio.mean(), 1.0, 1e-9);
+    EXPECT_NEAR(cell.efficiency.mean(), 1.0, 1e-9);
+  }
+}
+
+TEST(SweepIo, CsvHasHeaderAndOneRowPerCell) {
+  const SweepSpec spec = small_spec();
+  const SweepResult result = engine::run_sweep(spec);
+  const std::string csv = engine::sweep_to_csv(result);
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, result.cells.size() + 1);
+  EXPECT_EQ(csv.rfind("cell,users,channels,radios,rate,", 0), 0u);
+}
+
+TEST(SweepIo, JsonIsBalancedAndCountsCells) {
+  const SweepSpec spec = small_spec();
+  const SweepResult result = engine::run_sweep(spec);
+  const std::string json = engine::sweep_to_json(result);
+  long depth = 0;
+  std::size_t objects = 0;
+  for (const char ch : json) {
+    if (ch == '{') {
+      ++depth;
+      ++objects;
+    } else if (ch == '}') {
+      --depth;
+    }
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"total_runs\":" +
+                      std::to_string(result.total_runs)),
+            std::string::npos);
+}
+
+TEST(SweepIo, FormatParserAcceptsKnownNamesOnly) {
+  EXPECT_EQ(engine::parse_sweep_format("csv"), engine::SweepFormat::kCsv);
+  EXPECT_EQ(engine::parse_sweep_format("json"), engine::SweepFormat::kJson);
+  EXPECT_EQ(engine::parse_sweep_format("table"), engine::SweepFormat::kTable);
+  EXPECT_THROW(engine::parse_sweep_format("xml"), std::invalid_argument);
+}
+
+TEST(Sweep, RejectsZeroReplicates) {
+  SweepSpec spec;
+  spec.replicates = 0;
+  EXPECT_THROW(engine::run_sweep(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrca

@@ -6,6 +6,7 @@
 //   dynamics N C k [options]          best-response play from a random start
 //   rates    [options]                print R(k) tables for the MAC models
 //   simulate N C k [options]          NE + packet-level DES validation
+//   sweep    [options]                parallel batch experiments over a grid
 //
 // Common options:
 //   --rate tdma|dcf|dcf-opt|powerlaw=<alpha>    rate function (default tdma)
@@ -13,12 +14,22 @@
 //   --seconds <d>                               simulation horizon
 //   --max-k <int>                               table size for `rates`
 //
+// Sweep options (list values as comma lists or lo:hi[:step] ranges):
+//   --users / --channels / --radios             grid axes (e.g. 2:40 or 4,8)
+//   --rates tdma|powerlaw=<a>|geom=<d>|linear=<s>  comma list
+//   --granularity best|single|random-move       comma list
+//   --order rr|random                           comma list
+//   --start empty|random|partial|ne             comma list
+//   --replicates <n> --threads <n> --format table|csv|json
+//   --max-activations <n>
+//
 // MATRIX uses the canonical key format: rows '|', cells ',',
 // e.g. "1,1,0|0,1,1".
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +45,18 @@ struct CliOptions {
   double seconds = 10.0;
   int max_k = 10;
   std::vector<std::string> positional;
+  // sweep-only options
+  std::string users_list = "4,8,16";
+  std::string channels_list = "4,8";
+  std::string radios_list = "1,2";
+  std::string rates_list = "tdma";
+  std::string granularity_list = "best";
+  std::string order_list = "rr";
+  std::string start_list = "random";
+  std::size_t replicates = 1;
+  std::size_t threads = 1;
+  std::size_t max_activations = 100000;
+  std::string format = "table";
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -45,7 +68,13 @@ struct CliOptions {
       "  dynamics N C k [--rate R] [--seed S]\n"
       "  rates    [--max-k K]\n"
       "  simulate N C k [--rate R] [--seed S] [--seconds T]\n"
-      "rate functions: tdma | dcf | dcf-opt | powerlaw=<alpha>\n";
+      "  sweep    [--users L] [--channels L] [--radios L] [--rates L]\n"
+      "           [--granularity L] [--order L] [--start L]\n"
+      "           [--replicates N] [--seed S] [--threads N]\n"
+      "           [--max-activations N] [--format table|csv|json]\n"
+      "           (L = comma list or lo:hi[:step] range)\n"
+      "rate functions: tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
+      "sweep rates:    tdma | powerlaw=<a> | geom=<d> | linear=<s>\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -65,6 +94,29 @@ CliOptions parse_options(int argc, char** argv, int first) {
       options.seconds = std::strtod(need_value(arg).c_str(), nullptr);
     } else if (arg == "--max-k") {
       options.max_k = std::atoi(need_value(arg).c_str());
+    } else if (arg == "--users") {
+      options.users_list = need_value(arg);
+    } else if (arg == "--channels") {
+      options.channels_list = need_value(arg);
+    } else if (arg == "--radios") {
+      options.radios_list = need_value(arg);
+    } else if (arg == "--rates") {
+      options.rates_list = need_value(arg);
+    } else if (arg == "--granularity") {
+      options.granularity_list = need_value(arg);
+    } else if (arg == "--order") {
+      options.order_list = need_value(arg);
+    } else if (arg == "--start") {
+      options.start_list = need_value(arg);
+    } else if (arg == "--replicates") {
+      options.replicates = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+    } else if (arg == "--max-activations") {
+      options.max_activations =
+          std::strtoull(need_value(arg).c_str(), nullptr, 10);
+    } else if (arg == "--format") {
+      options.format = need_value(arg);
     } else if (arg.rfind("--", 0) == 0) {
       usage("unknown option " + arg);
     } else {
@@ -196,13 +248,135 @@ int cmd_simulate(const CliOptions& options) {
   const sim::NetworkResult measured = sim::simulate_network(ne, network);
   Table table({"user", "game prediction", "simulated [Mbit/s]"});
   for (UserId i = 0; i < config.num_users; ++i) {
-    table.add_row({"u" + std::to_string(i + 1),
+    table.add_row({Table::label("u", i + 1),
                    Table::fmt(game.utility(ne, i), 4),
                    Table::fmt(measured.per_user_bps[i] / 1e6, 4)});
   }
   table.print(std::cout);
   std::cout << "total simulated: " << measured.total_bps() / 1e6
             << " Mbit/s over " << options.seconds << " s\n";
+  return 0;
+}
+
+/// Axis values beyond this are certainly typos, and a range can't expand to
+/// more elements than this either (a grid axis of a million points already
+/// means >1e6 runs on its own).
+constexpr std::size_t kMaxAxisValue = 1000000;
+
+/// Strict decimal parse; rejects empty strings, trailing junk and absurd
+/// magnitudes so a typo like "4.8" or "4:40000000000" cannot silently
+/// shrink — or explode — the experiment grid.
+std::size_t parse_count(const std::string& text) {
+  if (text.empty() || text.size() > 7 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    usage("expected an integer in [0, 1000000], got '" + text + "'");
+  }
+  const std::size_t value = std::strtoull(text.c_str(), nullptr, 10);
+  if (value > kMaxAxisValue) {
+    usage("expected an integer in [0, 1000000], got '" + text + "'");
+  }
+  return value;
+}
+
+/// Expands "4,8,16" or "2:40" / "2:40:2" into the listed integers.
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto first_colon = item.find(':');
+    if (first_colon == std::string::npos) {
+      values.push_back(parse_count(item));
+      continue;
+    }
+    const auto second_colon = item.find(':', first_colon + 1);
+    const std::size_t lo = parse_count(item.substr(0, first_colon));
+    const std::size_t hi = parse_count(
+        item.substr(first_colon + 1, second_colon == std::string::npos
+                                         ? std::string::npos
+                                         : second_colon - first_colon - 1));
+    const std::size_t step =
+        second_colon == std::string::npos
+            ? 1
+            : parse_count(item.substr(second_colon + 1));
+    if (step == 0 || hi < lo) usage("bad range '" + item + "'");
+    for (std::size_t v = lo; v <= hi; v += step) values.push_back(v);
+  }
+  if (values.empty()) usage("empty list '" + text + "'");
+  return values;
+}
+
+template <typename T>
+std::vector<T> parse_enum_list(const std::string& text,
+                               T (*parse_one)(const std::string&)) {
+  std::vector<T> values;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) values.push_back(parse_one(item));
+  if (values.empty()) usage("empty list '" + text + "'");
+  return values;
+}
+
+ResponseGranularity parse_granularity(const std::string& text) {
+  if (text == "best") return ResponseGranularity::kBestResponse;
+  if (text == "single") return ResponseGranularity::kBestSingleMove;
+  if (text == "random-move") return ResponseGranularity::kRandomImprovingMove;
+  usage("unknown granularity '" + text + "'");
+}
+
+ActivationOrder parse_order(const std::string& text) {
+  if (text == "rr") return ActivationOrder::kRoundRobin;
+  if (text == "random") return ActivationOrder::kUniformRandom;
+  usage("unknown activation order '" + text + "'");
+}
+
+engine::SweepStart parse_start(const std::string& text) {
+  if (text == "empty") return engine::SweepStart::kEmpty;
+  if (text == "random") return engine::SweepStart::kRandomFull;
+  if (text == "partial") return engine::SweepStart::kRandomPartial;
+  if (text == "ne") return engine::SweepStart::kSequentialNe;
+  usage("unknown start '" + text + "'");
+}
+
+engine::RateSpec parse_rate_spec(const std::string& text) {
+  return engine::RateSpec::parse(text);
+}
+
+int cmd_sweep(const CliOptions& options) {
+  if (!options.positional.empty()) {
+    usage("sweep takes no positional arguments; use --users/--channels/"
+          "--radios (got '" + options.positional.front() + "')");
+  }
+  engine::SweepSpec spec;
+  spec.users = parse_size_list(options.users_list);
+  spec.channels = parse_size_list(options.channels_list);
+  spec.radios.clear();
+  for (const std::size_t k : parse_size_list(options.radios_list)) {
+    spec.radios.push_back(static_cast<RadioCount>(k));
+  }
+  spec.rates = parse_enum_list(options.rates_list, parse_rate_spec);
+  spec.granularities =
+      parse_enum_list(options.granularity_list, parse_granularity);
+  spec.orders = parse_enum_list(options.order_list, parse_order);
+  spec.starts = parse_enum_list(options.start_list, parse_start);
+  spec.replicates = options.replicates;
+  spec.base_seed = options.seed;
+  spec.max_activations = options.max_activations;
+  if (spec.expand().empty()) {
+    usage("the grid has no valid (N, C, k) combination: every radios value "
+          "exceeds every channels value (model requires k <= |C|)");
+  }
+
+  const engine::SweepFormat format =
+      engine::parse_sweep_format(options.format);
+  engine::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  const engine::SweepResult result = engine::run_sweep(spec, sweep_options);
+  engine::write_sweep(std::cout, result, format);
+  if (format == engine::SweepFormat::kTable) {
+    std::cout << result.cells.size() << " cells, " << result.total_runs
+              << " runs on " << result.threads_used << " thread(s)\n";
+  }
   return 0;
 }
 
@@ -218,6 +392,7 @@ int main(int argc, char** argv) {
     if (command == "dynamics") return cmd_dynamics(options);
     if (command == "rates") return cmd_rates(options);
     if (command == "simulate") return cmd_simulate(options);
+    if (command == "sweep") return cmd_sweep(options);
     if (command == "help" || command == "--help") usage();
     usage("unknown command '" + command + "'");
   } catch (const std::exception& error) {
