@@ -81,6 +81,14 @@ std::vector<ChannelId> StrategyMatrix::max_loaded_channels() const {
   return result;
 }
 
+std::vector<ChannelId> StrategyMatrix::occupied_channels() const {
+  std::vector<ChannelId> result;
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (channel_loads_[c] > 0) result.push_back(c);
+  }
+  return result;
+}
+
 RadioCount StrategyMatrix::load_difference(ChannelId b, ChannelId c) const {
   return channel_load(b) - channel_load(c);
 }

@@ -67,6 +67,11 @@ class StrategyMatrix {
   std::vector<ChannelId> min_loaded_channels() const;
   std::vector<ChannelId> max_loaded_channels() const;
 
+  /// Channels carrying at least one radio, ascending. This is the hand-off
+  /// surface to the packet-level simulator: each occupied channel is one
+  /// independent single-collision-domain simulation (FDMA assumption).
+  std::vector<ChannelId> occupied_channels() const;
+
   /// delta_{b,c} = k_b - k_c (paper eq. (6); can be negative here).
   RadioCount load_difference(ChannelId b, ChannelId c) const;
 

@@ -4,10 +4,13 @@
 #include <array>
 #include <charconv>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/alloc/random_alloc.h"
+#include "mac/bianchi.h"
 #include "core/alloc/sequential.h"
 #include "core/alloc/utility_cache.h"
 #include "core/analysis/efficiency.h"
@@ -29,6 +32,9 @@ struct RunOutcome {
   double anarchy_ratio = 0.0;  // valid only when welfare > 0
   double fairness = 0.0;
   double load_imbalance = 0.0;
+  /// One entry per DES replay (empty when the spec has no sim tier); the
+  /// vector is owned by this task's slot, so workers still share nothing.
+  std::vector<SimTierOutcome> sim;
 };
 
 StrategyMatrix make_start(const Game& game, SweepStart start, Rng& rng) {
@@ -55,10 +61,11 @@ StrategyMatrix make_start(const Game& game, SweepStart start, Rng& rng) {
 }
 
 RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
-                   std::uint64_t seed) {
-  const Game game(GameConfig(cell.users, cell.channels, cell.radios),
-                  cell.rate.make());
-  Rng rng(seed);
+                   std::shared_ptr<const RateFunction> rate_function,
+                   std::size_t replicate) {
+  const GameConfig config(cell.users, cell.channels, cell.radios);
+  const Game game(config, std::move(rate_function));
+  Rng rng(derive_run_seed(spec.base_seed, cell.index, replicate));
   const StrategyMatrix start = make_start(game, cell.start, rng);
 
   DynamicsOptions options;
@@ -82,6 +89,23 @@ RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
   outcome.fairness = utility_fairness(game, result.final_state);
   outcome.load_imbalance =
       static_cast<double>(load_imbalance(result.final_state));
+
+  // Packet-level tier: replay the final allocation through the DES. Runs
+  // inside this task, so the replays ride the same worker pool and the
+  // outcome stays a pure function of the task coordinates.
+  if (spec.sim_tier) {
+    // The analytic prediction depends only on (final_state, tier); compute
+    // it once and reuse it across the DES replays.
+    const std::vector<double> analytic =
+        analytic_per_user_bps(result.final_state, *spec.sim_tier);
+    outcome.sim.reserve(spec.sim_tier->replicates);
+    for (std::size_t s = 0; s < spec.sim_tier->replicates; ++s) {
+      outcome.sim.push_back(replay_strategy(
+          result.final_state, *spec.sim_tier,
+          derive_sim_seed(spec.base_seed, cell.index, replicate, s),
+          analytic));
+    }
+  }
   return outcome;
 }
 
@@ -107,11 +131,18 @@ std::string RateSpec::name() const {
       return "geom=" + trimmed(param);
     case Kind::kLinearDecay:
       return "linear=" + trimmed(param);
+    case Kind::kDcf:
+      return "dcf";
+    case Kind::kDcfOptimal:
+      return "dcf-opt";
   }
   throw std::logic_error("RateSpec: unknown kind");
 }
 
-std::shared_ptr<const RateFunction> RateSpec::make() const {
+std::shared_ptr<const RateFunction> RateSpec::make(int max_load) const {
+  // The Bianchi tables need at least two entries so the conflict regime is
+  // represented even for degenerate configurations.
+  const int table = std::max(max_load, 2);
   switch (kind) {
     case Kind::kConstant:
       return std::make_shared<ConstantRate>(nominal);
@@ -121,6 +152,12 @@ std::shared_ptr<const RateFunction> RateSpec::make() const {
       return std::make_shared<GeometricDecayRate>(nominal, param);
     case Kind::kLinearDecay:
       return std::make_shared<LinearDecayRate>(nominal, param);
+    case Kind::kDcf:
+      return BianchiDcfModel(DcfParameters::bianchi_fhss())
+          .make_practical_rate(table);
+    case Kind::kDcfOptimal:
+      return BianchiDcfModel(DcfParameters::bianchi_fhss())
+          .make_optimal_rate(table);
   }
   throw std::logic_error("RateSpec: unknown kind");
 }
@@ -140,6 +177,8 @@ RateSpec RateSpec::parse(const std::string& text) {
     return value;
   };
   if (text == "tdma" || text == "const") return RateSpec{};
+  if (text == "dcf") return RateSpec{Kind::kDcf, 1.0, 0.0};
+  if (text == "dcf-opt") return RateSpec{Kind::kDcfOptimal, 1.0, 0.0};
   if (text.rfind("powerlaw=", 0) == 0) {
     return RateSpec{Kind::kPowerLaw, 1.0, value_after(9)};
   }
@@ -225,12 +264,48 @@ std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t cell_index,
   return second.next();
 }
 
+std::uint64_t derive_sim_seed(std::uint64_t base_seed, std::size_t cell_index,
+                              std::size_t replicate,
+                              std::size_t sim_replicate) {
+  // Chain one more mixing round off the run seed so the DES streams are
+  // decorrelated both from each other and from the run's own RNG.
+  SplitMix64 mix(derive_run_seed(base_seed, cell_index, replicate) ^
+                 (0xbf58476d1ce4e5b9ULL * (sim_replicate + 1)));
+  return mix.next();
+}
+
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   if (spec.replicates == 0) {
     throw std::invalid_argument("run_sweep: replicates must be >= 1");
   }
+  if (spec.sim_tier) {
+    if (spec.sim_tier->replicates == 0) {
+      throw std::invalid_argument("run_sweep: sim replicates must be >= 1");
+    }
+    if (spec.sim_tier->duration_s <= 0.0 ||
+        !std::isfinite(spec.sim_tier->duration_s)) {
+      throw std::invalid_argument(
+          "run_sweep: sim duration must be finite and > 0");
+    }
+  }
   const std::vector<SweepSpec::Cell> cells = spec.expand();
   const std::size_t total_runs = cells.size() * spec.replicates;
+
+  // Rate functions are immutable, so build each distinct (spec, table size)
+  // once up front and share it across every cell and replicate that needs
+  // it — for the DCF kinds this collapses thousands of Bianchi fixed-point
+  // table builds into one per distinct N*k.
+  std::map<std::pair<std::string, int>, std::shared_ptr<const RateFunction>>
+      rate_cache;
+  std::vector<std::shared_ptr<const RateFunction>> rate_functions;
+  rate_functions.reserve(cells.size());
+  for (const SweepSpec::Cell& cell : cells) {
+    const int max_load =
+        GameConfig(cell.users, cell.channels, cell.radios).total_radios();
+    auto& cached = rate_cache[{cell.rate.name(), max_load}];
+    if (!cached) cached = cell.rate.make(max_load);
+    rate_functions.push_back(cached);
+  }
 
   // One pre-allocated slot per task; workers never touch shared state.
   std::vector<RunOutcome> outcomes(total_runs);
@@ -238,9 +313,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       parallel_for(total_runs, options.threads, [&](std::size_t task) {
         const std::size_t cell_index = task / spec.replicates;
         const std::size_t replicate = task % spec.replicates;
-        outcomes[task] =
-            run_one(spec, cells[cell_index],
-                    derive_run_seed(spec.base_seed, cell_index, replicate));
+        outcomes[task] = run_one(spec, cells[cell_index],
+                                 rate_functions[cell_index], replicate);
       });
 
   // Sequential aggregation in task order: bit-identical at any thread count.
@@ -264,6 +338,13 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       }
       aggregate.fairness.add(outcome.fairness);
       aggregate.load_imbalance.add(outcome.load_imbalance);
+      for (const SimTierOutcome& sim : outcome.sim) {
+        ++aggregate.sim_runs;
+        aggregate.sim_total_bps.add(sim.total_bps);
+        aggregate.sim_gap.add(sim.throughput_gap);
+        aggregate.sim_fairness.add(sim.fairness);
+        aggregate.sim_imbalance.add(sim.channel_imbalance);
+      }
     }
     result.cells.push_back(std::move(aggregate));
   }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,26 +21,40 @@
 #include "core/alloc/best_response.h"
 #include "core/rate_function.h"
 #include "core/types.h"
+#include "engine/sim_tier.h"
 
 namespace mrca::engine {
 
 /// Value-type description of a rate function, so a SweepSpec is copyable,
 /// comparable and printable without touching polymorphic objects.
 struct RateSpec {
-  enum class Kind { kConstant, kPowerLaw, kGeometricDecay, kLinearDecay };
+  enum class Kind {
+    kConstant,
+    kPowerLaw,
+    kGeometricDecay,
+    kLinearDecay,
+    kDcf,         // Bianchi practical DCF table (strictly decreasing)
+    kDcfOptimal,  // Bianchi optimally-tuned DCF table (near constant)
+  };
 
   Kind kind = Kind::kConstant;
   double nominal = 1.0;
   /// alpha for kPowerLaw, decay for kGeometricDecay, slope for kLinearDecay;
-  /// ignored for kConstant.
+  /// ignored for kConstant and the DCF kinds.
   double param = 0.0;
 
-  /// Short spec string, e.g. "tdma", "powerlaw=1", "geom=0.9", "linear=0.1".
+  /// Short spec string, e.g. "tdma", "powerlaw=1", "geom=0.9", "linear=0.1",
+  /// "dcf", "dcf-opt".
   std::string name() const;
-  std::shared_ptr<const RateFunction> make() const;
+
+  /// Builds the rate function. `max_load` bounds the loads the game can
+  /// produce (|N|*k); the DCF kinds tabulate the Bianchi model up to it and
+  /// the closed-form kinds ignore it.
+  std::shared_ptr<const RateFunction> make(int max_load = 64) const;
 
   /// Parses the name() format (also accepts "const" for "tdma").
-  /// Throws std::invalid_argument on unknown specs.
+  /// Throws std::invalid_argument on unknown specs. This is the single
+  /// rate-spec language shared by every CLI command and the sweep grid.
   static RateSpec parse(const std::string& text);
 
   friend bool operator==(const RateSpec&, const RateSpec&) = default;
@@ -73,6 +88,11 @@ struct SweepSpec {
   std::uint64_t base_seed = 1;
   std::size_t max_activations = 100000;
   double tolerance = kUtilityTolerance;
+  /// Optional packet-level validation tier: when set, every run's final
+  /// allocation is replayed through the discrete-event simulator (on the
+  /// same worker pool, inside the run's task) and scored against the MAC
+  /// model's analytic prediction.
+  std::optional<SimTierSpec> sim_tier;
 
   /// One point of the expanded grid.
   struct Cell {
@@ -112,6 +132,18 @@ struct CellResult {
   RunningStats fairness;
   /// max - min channel load of the final allocation.
   RunningStats load_imbalance;
+
+  // Packet-level tier aggregates (one sample per DES replay; all empty when
+  // the spec has no sim_tier).
+  std::size_t sim_runs = 0;
+  /// Measured total payload throughput per replay, bit/s.
+  RunningStats sim_total_bps;
+  /// Mean relative analytic-vs-measured per-user throughput gap.
+  RunningStats sim_gap;
+  /// Jain fairness over measured per_user_bps.
+  RunningStats sim_fairness;
+  /// Relative per-channel measured-throughput spread over occupied channels.
+  RunningStats sim_imbalance;
 };
 
 struct SweepResult {
@@ -129,6 +161,13 @@ struct SweepOptions {
 /// task coordinates, independent of scheduling.
 std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t cell_index,
                               std::size_t replicate);
+
+/// Deterministic seed for one DES replay of one run: a pure function of
+/// (base_seed, cell, replicate, sim_replicate), decorrelated from the run's
+/// own RNG stream.
+std::uint64_t derive_sim_seed(std::uint64_t base_seed, std::size_t cell_index,
+                              std::size_t replicate,
+                              std::size_t sim_replicate);
 
 /// Expands the spec and runs every (cell, replicate) task across the pool.
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});

@@ -1,5 +1,7 @@
 #include "engine/sweep_io.h"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -10,34 +12,56 @@
 namespace mrca::engine {
 namespace {
 
-/// 17 significant digits round-trip any double exactly.
+/// 17 significant digits round-trip any double exactly. Non-finite values
+/// print as inf/nan (fine for CSV; the JSON writer uses json_number).
 std::string full_precision(double value) {
   std::ostringstream out;
   out << std::setprecision(17) << value;
   return out.str();
 }
 
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char ch : text) {
-    if (ch == '"' || ch == '\\') escaped += '\\';
-    escaped += ch;
-  }
-  return escaped;
-}
-
 void append_stats_json(std::ostringstream& out, const char* key,
                        const RunningStats& stats) {
   out << '"' << key << "\":{\"count\":" << stats.count()
-      << ",\"mean\":" << full_precision(stats.mean())
-      << ",\"stddev\":" << full_precision(stats.stddev())
-      << ",\"min\":" << full_precision(stats.empty() ? 0.0 : stats.min())
-      << ",\"max\":" << full_precision(stats.empty() ? 0.0 : stats.max())
+      << ",\"mean\":" << json_number(stats.mean())
+      << ",\"stddev\":" << json_number(stats.stddev())
+      << ",\"min\":" << json_number(stats.empty() ? 0.0 : stats.min())
+      << ",\"max\":" << json_number(stats.empty() ? 0.0 : stats.max())
       << '}';
 }
 
 }  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\b': escaped += "\\b"; break;
+      case '\f': escaped += "\\f"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          escaped += buffer;
+        } else {
+          escaped += ch;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return full_precision(value);
+}
 
 SweepFormat parse_sweep_format(const std::string& text) {
   if (text == "table") return SweepFormat::kTable;
@@ -51,7 +75,9 @@ std::string sweep_to_csv(const SweepResult& result) {
   out << "cell,users,channels,radios,rate,granularity,order,start,runs,"
          "converged,activations_mean,activations_stddev,improving_mean,"
          "welfare_mean,welfare_min,welfare_max,efficiency_mean,"
-         "anarchy_ratio_mean,fairness_mean,load_imbalance_mean\n";
+         "anarchy_ratio_mean,fairness_mean,load_imbalance_mean,"
+         "sim_runs,sim_total_bps_mean,sim_gap_mean,sim_gap_max,"
+         "sim_fairness_mean,sim_imbalance_mean\n";
   for (const CellResult& cell : result.cells) {
     out << cell.cell.index << ',' << cell.cell.users << ','
         << cell.cell.channels << ',' << cell.cell.radios << ','
@@ -68,7 +94,13 @@ std::string sweep_to_csv(const SweepResult& result) {
         << ',' << full_precision(cell.efficiency.mean()) << ','
         << full_precision(cell.anarchy_ratio.mean()) << ','
         << full_precision(cell.fairness.mean()) << ','
-        << full_precision(cell.load_imbalance.mean()) << '\n';
+        << full_precision(cell.load_imbalance.mean()) << ','
+        << cell.sim_runs << ','
+        << full_precision(cell.sim_total_bps.mean()) << ','
+        << full_precision(cell.sim_gap.mean()) << ','
+        << full_precision(cell.sim_gap.empty() ? 0.0 : cell.sim_gap.max())
+        << ',' << full_precision(cell.sim_fairness.mean()) << ','
+        << full_precision(cell.sim_imbalance.mean()) << '\n';
   }
   return out.str();
 }
@@ -102,6 +134,14 @@ std::string sweep_to_json(const SweepResult& result) {
     append_stats_json(out, "fairness", cell.fairness);
     out << ',';
     append_stats_json(out, "load_imbalance", cell.load_imbalance);
+    out << ",\"sim_runs\":" << cell.sim_runs << ',';
+    append_stats_json(out, "sim_total_bps", cell.sim_total_bps);
+    out << ',';
+    append_stats_json(out, "sim_gap", cell.sim_gap);
+    out << ',';
+    append_stats_json(out, "sim_fairness", cell.sim_fairness);
+    out << ',';
+    append_stats_json(out, "sim_imbalance", cell.sim_imbalance);
     out << '}';
   }
   out << "]}";
@@ -109,21 +149,38 @@ std::string sweep_to_json(const SweepResult& result) {
 }
 
 std::string sweep_to_table(const SweepResult& result) {
-  Table table({"N", "C", "k", "rate", "dyn", "order", "start", "conv",
-               "activations", "welfare", "efficiency", "PoA", "fairness"});
+  bool has_sim = false;
+  for (const CellResult& cell : result.cells) has_sim |= cell.sim_runs > 0;
+
+  std::vector<std::string> header = {
+      "N", "C", "k", "rate", "dyn", "order", "start", "conv",
+      "activations", "welfare", "efficiency", "PoA", "fairness"};
+  if (has_sim) {
+    header.insert(header.end(),
+                  {"sim Mbps", "sim gap", "sim fair", "sim imbal"});
+  }
+  Table table(header);
   for (const CellResult& cell : result.cells) {
     std::string converged = std::to_string(cell.converged);
     converged += '/';
     converged += std::to_string(cell.runs);
-    table.add_row({Table::fmt(cell.cell.users), Table::fmt(cell.cell.channels),
-                   Table::fmt(cell.cell.radios), cell.cell.rate.name(),
-                   to_string(cell.cell.granularity),
-                   to_string(cell.cell.order), to_string(cell.cell.start),
-                   std::move(converged), Table::fmt(cell.activations.mean(), 1),
-                   Table::fmt(cell.welfare.mean(), 4),
-                   Table::fmt(cell.efficiency.mean(), 4),
-                   Table::fmt(cell.anarchy_ratio.mean(), 4),
-                   Table::fmt(cell.fairness.mean(), 4)});
+    std::vector<std::string> row = {
+        Table::fmt(cell.cell.users), Table::fmt(cell.cell.channels),
+        Table::fmt(cell.cell.radios), cell.cell.rate.name(),
+        to_string(cell.cell.granularity), to_string(cell.cell.order),
+        to_string(cell.cell.start), std::move(converged),
+        Table::fmt(cell.activations.mean(), 1),
+        Table::fmt(cell.welfare.mean(), 4),
+        Table::fmt(cell.efficiency.mean(), 4),
+        Table::fmt(cell.anarchy_ratio.mean(), 4),
+        Table::fmt(cell.fairness.mean(), 4)};
+    if (has_sim) {
+      row.push_back(Table::fmt(cell.sim_total_bps.mean() / 1e6, 4));
+      row.push_back(Table::fmt(cell.sim_gap.mean(), 4));
+      row.push_back(Table::fmt(cell.sim_fairness.mean(), 4));
+      row.push_back(Table::fmt(cell.sim_imbalance.mean(), 4));
+    }
+    table.add_row(row);
   }
   return table.to_ascii();
 }

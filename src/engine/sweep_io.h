@@ -16,6 +16,14 @@ enum class SweepFormat { kTable, kCsv, kJson };
 /// Parses "table" | "csv" | "json"; throws std::invalid_argument otherwise.
 SweepFormat parse_sweep_format(const std::string& text);
 
+/// RFC-8259 string escaping: quotes, backslashes, and every control
+/// character below 0x20 (as \uOOXX or the short forms \b \f \n \r \t).
+std::string json_escape(const std::string& text);
+
+/// A double as a strict-JSON number token: 17 significant digits for finite
+/// values, "null" for inf/nan (JSON has no non-finite literals).
+std::string json_number(double value);
+
 std::string sweep_to_csv(const SweepResult& result);
 std::string sweep_to_json(const SweepResult& result);
 /// Human-readable aligned table (common/table).

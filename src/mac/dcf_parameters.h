@@ -82,6 +82,9 @@ struct DcfParameters {
 
   /// 802.11b DSSS long-preamble parameters at 11 Mbit/s.
   static DcfParameters dsss_11mbps();
+
+  friend bool operator==(const DcfParameters&,
+                         const DcfParameters&) = default;
 };
 
 }  // namespace mrca

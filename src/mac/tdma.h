@@ -23,6 +23,9 @@ struct TdmaParameters {
   double efficiency() const noexcept {
     return slot_duration_s / (slot_duration_s + guard_time_s);
   }
+
+  friend bool operator==(const TdmaParameters&,
+                         const TdmaParameters&) = default;
 };
 
 class TdmaModel {

@@ -35,6 +35,7 @@
 #include "core/rate_table.h"     // IWYU pragma: export
 #include "core/strategy.h"       // IWYU pragma: export
 #include "core/types.h"          // IWYU pragma: export
+#include "engine/sim_tier.h"     // IWYU pragma: export
 #include "engine/sweep.h"        // IWYU pragma: export
 #include "engine/sweep_io.h"     // IWYU pragma: export
 #include "engine/thread_pool.h"  // IWYU pragma: export

@@ -11,6 +11,21 @@ using mrca::ChannelId;
 using mrca::RadioCount;
 using mrca::UserId;
 
+const char* to_string(MacKind mac) noexcept {
+  switch (mac) {
+    case MacKind::kDcf: return "dcf";
+    case MacKind::kTdma: return "tdma";
+  }
+  return "?";
+}
+
+MacKind parse_mac_kind(const std::string& text) {
+  if (text == "dcf") return MacKind::kDcf;
+  if (text == "tdma") return MacKind::kTdma;
+  throw std::invalid_argument("unknown MAC kind '" + text +
+                              "' (expected dcf or tdma)");
+}
+
 NetworkResult simulate_network(const StrategyMatrix& strategies,
                                const NetworkOptions& options) {
   if (options.duration_s <= 0.0) {
@@ -21,9 +36,8 @@ NetworkResult simulate_network(const StrategyMatrix& strategies,
   result.per_user_bps.assign(strategies.num_users(), 0.0);
   result.per_channel_bps.assign(strategies.num_channels(), 0.0);
 
-  for (ChannelId c = 0; c < strategies.num_channels(); ++c) {
+  for (const ChannelId c : strategies.occupied_channels()) {
     const RadioCount load = strategies.channel_load(c);
-    if (load == 0) continue;
 
     // Station s belongs to owner[s]; owners appear once per radio.
     std::vector<UserId> owner;

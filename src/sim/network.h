@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rate_function.h"
@@ -20,6 +21,12 @@
 namespace mrca::sim {
 
 enum class MacKind { kDcf, kTdma };
+
+/// "dcf" | "tdma".
+const char* to_string(MacKind mac) noexcept;
+
+/// Parses the to_string names; throws std::invalid_argument otherwise.
+MacKind parse_mac_kind(const std::string& text);
 
 struct NetworkResult {
   double duration_s = 0.0;

@@ -1,0 +1,154 @@
+// End-to-end tests of the mrca CLI binary: checked numeric-flag parsing
+// (malformed values must name the flag and exit non-zero), the unified
+// rate-spec language, and golden strict-JSON output of `mrca sweep`.
+//
+// MRCA_CLI_PATH is injected by CMake as $<TARGET_FILE:mrca_cli>.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+#include "strict_json.h"
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  // Quote the binary path: build directories may contain spaces.
+  const std::string command =
+      "\"" + std::string(MRCA_CLI_PATH) + "\" " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CliResult result;
+  char buffer[4096];
+  std::size_t bytes = 0;
+  while ((bytes = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, bytes);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(CliNumericParsing, RejectsNonNumericAxisValue) {
+  const CliResult result = run_cli("sweep --users abc");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--users"), std::string::npos);
+  EXPECT_NE(result.output.find("abc"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsNegativePositionalUserCount) {
+  // Before the checked parsers, atoi turned "-3" into a huge size_t via the
+  // static_cast; now it must be rejected up front.
+  const CliResult result = run_cli("solve -3 4 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("'-3'"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsTrailingJunkInSeed) {
+  const CliResult result = run_cli("solve 4 4 1 --seed 12x");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--seed"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsNonNumericSeconds) {
+  const CliResult result = run_cli("simulate 2 2 1 --seconds abc");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--seconds"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsFractionalAxisEntry) {
+  const CliResult result = run_cli("sweep --channels 4.8");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--channels"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsZeroReplicatesNamingTheFlag) {
+  const CliResult replicates = run_cli("sweep --replicates 0");
+  EXPECT_EQ(replicates.exit_code, 2);
+  EXPECT_NE(replicates.output.find("--replicates"), std::string::npos);
+
+  const CliResult sim_replicates = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --sim tdma "
+      "--sim-replicates 0");
+  EXPECT_EQ(sim_replicates.exit_code, 2);
+  EXPECT_NE(sim_replicates.output.find("--sim-replicates"),
+            std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsSimTuningFlagsWithoutSim) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --sim-seconds 5");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--sim"), std::string::npos);
+}
+
+TEST(CliNumericParsing, RejectsNonPositiveSimSeconds) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --sim tdma --sim-seconds 0");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--sim-seconds"), std::string::npos);
+}
+
+TEST(CliRateSpecs, SingleGameCommandsAcceptTheSweepLanguage) {
+  // geom=/linear= used to be sweep-only; both parsers are now one.
+  EXPECT_EQ(run_cli("solve 4 4 1 --rate geom=0.9").exit_code, 0);
+  EXPECT_EQ(run_cli("solve 4 4 1 --rate linear=0.1").exit_code, 0);
+}
+
+TEST(CliRateSpecs, SweepAcceptsTheBianchiTables) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --rates dcf,dcf-opt "
+      "--format csv");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("dcf-opt"), std::string::npos);
+}
+
+TEST(CliRateSpecs, UnknownRateIsRejectedEverywhere) {
+  EXPECT_EQ(run_cli("solve 4 4 1 --rate bogus").exit_code, 2);
+  EXPECT_EQ(run_cli("sweep --rates bogus").exit_code, 2);
+}
+
+TEST(CliRateSpecs, RejectsUnknownSimMac) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --sim csma");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("csma"), std::string::npos);
+}
+
+TEST(CliGoldenJson, SweepOutputIsStrictJson) {
+  const CliResult result = run_cli(
+      "sweep --users 3,4 --channels 3 --radios 1,2 "
+      "--rates tdma,powerlaw=1 --replicates 2 --seed 5 --format json");
+  ASSERT_EQ(result.exit_code, 0);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(result.output, &why)) << why;
+}
+
+TEST(CliGoldenJson, SimTierOutputIsStrictJson) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --sim tdma "
+      "--sim-seconds 0.2 --seed 5 --format json");
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("\"sim_gap\""), std::string::npos);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(result.output, &why)) << why;
+}
+
+TEST(CliDeterminism, SimTierCsvIsIdenticalAcrossThreadCounts) {
+  const std::string common =
+      "sweep --users 3,4 --channels 3 --radios 1 --rates dcf "
+      "--replicates 2 --sim dcf --sim-seconds 0.1 --seed 11 --format csv";
+  const CliResult one = run_cli(common + " --threads 1");
+  const CliResult eight = run_cli(common + " --threads 8");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(eight.exit_code, 0);
+  EXPECT_EQ(one.output, eight.output);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -206,6 +207,38 @@ TEST(SweepIo, JsonIsBalancedAndCountsCells) {
   EXPECT_NE(json.find("\"total_runs\":" +
                       std::to_string(result.total_runs)),
             std::string::npos);
+}
+
+TEST(SweepIo, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(engine::json_escape("plain"), "plain");
+  EXPECT_EQ(engine::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(engine::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(engine::json_escape(std::string("nul\0byte", 8)),
+            "nul\\u0000byte");
+  EXPECT_EQ(engine::json_escape("\n\r\b\f"), "\\n\\r\\b\\f");
+  EXPECT_EQ(engine::json_escape("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(SweepIo, JsonNumberEmitsNullForNonFiniteValues) {
+  EXPECT_EQ(engine::json_number(1.5), "1.5");
+  EXPECT_EQ(engine::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(engine::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(engine::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(RateSpecRoundTrip, DcfTableSpecsParseAndBuild) {
+  // The sweep grid and the single-game commands now share one rate-spec
+  // language, so the Bianchi table kinds must round-trip too.
+  for (const char* name : {"dcf", "dcf-opt"}) {
+    const RateSpec spec = RateSpec::parse(name);
+    EXPECT_EQ(spec.name(), name);
+    const auto rate = spec.make(8);
+    EXPECT_GT(rate->rate(1), 0.0);
+    rate->validate_non_increasing(8);
+  }
 }
 
 TEST(SweepIo, FormatParserAcceptsKnownNamesOnly) {

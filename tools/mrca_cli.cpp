@@ -25,6 +25,8 @@
 //
 // MATRIX uses the canonical key format: rows '|', cells ',',
 // e.g. "1,1,0|0,1,1".
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -57,6 +59,13 @@ struct CliOptions {
   std::size_t threads = 1;
   std::size_t max_activations = 100000;
   std::string format = "table";
+  // packet-level validation tier (sweep only)
+  std::string sim_mac;  ///< empty = tier disabled
+  double sim_seconds = 1.0;
+  std::size_t sim_replicates = 1;
+  /// True when a --sim-* tuning flag appeared, so `sweep` can reject the
+  /// combination "tier tuned but never enabled" instead of ignoring it.
+  bool sim_flags_given = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -72,10 +81,70 @@ struct CliOptions {
       "           [--granularity L] [--order L] [--start L]\n"
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
+      "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
       "           (L = comma list or lo:hi[:step] range)\n"
-      "rate functions: tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
-      "sweep rates:    tdma | powerlaw=<a> | geom=<d> | linear=<s>\n";
+      "rate specs (all commands): tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
+      "                         | geom=<decay> | linear=<slope>\n";
   std::exit(error.empty() ? 0 : 2);
+}
+
+/// Axis values beyond this are certainly typos, and a range can't expand to
+/// more elements than this either (a grid axis of a million points already
+/// means >1e6 runs on its own).
+constexpr std::size_t kMaxAxisValue = 1000000;
+
+/// Strict unsigned-integer parse (std::from_chars): the whole string must
+/// be consumed, so "abc", "-3", "4.8" and "12x" are all rejected with a
+/// message naming the offending flag, and the process exits non-zero.
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end) {
+    usage("invalid value '" + text + "' for " + flag +
+          " (expected an unsigned integer)");
+  }
+  return value;
+}
+
+/// As parse_u64, bounded to kMaxAxisValue — for values that size games or
+/// grids, where a fat-fingered exponent must not explode the run.
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  const std::uint64_t value = parse_u64(flag, text);
+  if (value > kMaxAxisValue) {
+    usage("value '" + text + "' for " + flag + " exceeds the limit " +
+          std::to_string(kMaxAxisValue));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Strict finite-double parse; names the offending flag and exits non-zero.
+double parse_double(const std::string& flag, const std::string& text) {
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end ||
+      !std::isfinite(value)) {
+    usage("invalid value '" + text + "' for " + flag +
+          " (expected a finite number)");
+  }
+  return value;
+}
+
+double parse_positive_double(const std::string& flag,
+                             const std::string& text) {
+  const double value = parse_double(flag, text);
+  if (value <= 0.0) {
+    usage("value for " + flag + " must be > 0, got '" + text + "'");
+  }
+  return value;
+}
+
+std::size_t parse_positive_count(const std::string& flag,
+                                 const std::string& text) {
+  const std::size_t value = parse_count(flag, text);
+  if (value == 0) usage("value for " + flag + " must be >= 1");
+  return value;
 }
 
 CliOptions parse_options(int argc, char** argv, int first) {
@@ -89,11 +158,13 @@ CliOptions parse_options(int argc, char** argv, int first) {
     if (arg == "--rate") {
       options.rate = need_value(arg);
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+      options.seed = parse_u64(arg, need_value(arg));
     } else if (arg == "--seconds") {
-      options.seconds = std::strtod(need_value(arg).c_str(), nullptr);
+      options.seconds = parse_positive_double(arg, need_value(arg));
     } else if (arg == "--max-k") {
-      options.max_k = std::atoi(need_value(arg).c_str());
+      const std::size_t max_k = parse_count(arg, need_value(arg));
+      if (max_k < 1) usage("value for --max-k must be >= 1");
+      options.max_k = static_cast<int>(max_k);
     } else if (arg == "--users") {
       options.users_list = need_value(arg);
     } else if (arg == "--channels") {
@@ -109,14 +180,22 @@ CliOptions parse_options(int argc, char** argv, int first) {
     } else if (arg == "--start") {
       options.start_list = need_value(arg);
     } else if (arg == "--replicates") {
-      options.replicates = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+      options.replicates = parse_positive_count(arg, need_value(arg));
     } else if (arg == "--threads") {
-      options.threads = std::strtoull(need_value(arg).c_str(), nullptr, 10);
+      options.threads = parse_count(arg, need_value(arg));
     } else if (arg == "--max-activations") {
       options.max_activations =
-          std::strtoull(need_value(arg).c_str(), nullptr, 10);
+          static_cast<std::size_t>(parse_u64(arg, need_value(arg)));
     } else if (arg == "--format") {
       options.format = need_value(arg);
+    } else if (arg == "--sim") {
+      options.sim_mac = need_value(arg);
+    } else if (arg == "--sim-seconds") {
+      options.sim_seconds = parse_positive_double(arg, need_value(arg));
+      options.sim_flags_given = true;
+    } else if (arg == "--sim-replicates") {
+      options.sim_replicates = parse_positive_count(arg, need_value(arg));
+      options.sim_flags_given = true;
     } else if (arg.rfind("--", 0) == 0) {
       usage("unknown option " + arg);
     } else {
@@ -126,32 +205,23 @@ CliOptions parse_options(int argc, char** argv, int first) {
   return options;
 }
 
+/// Single rate-spec language for every command: engine::RateSpec::parse,
+/// which accepts tdma | dcf | dcf-opt | powerlaw= | geom= | linear=.
 std::shared_ptr<const RateFunction> make_rate(const std::string& spec,
                                               int max_load) {
-  if (spec == "tdma") return std::make_shared<ConstantRate>(1.0);
-  if (spec == "dcf") {
-    return BianchiDcfModel(DcfParameters::bianchi_fhss())
-        .make_practical_rate(std::max(max_load, 2));
+  try {
+    return engine::RateSpec::parse(spec).make(max_load);
+  } catch (const std::invalid_argument& error) {
+    usage(error.what());
   }
-  if (spec == "dcf-opt") {
-    return BianchiDcfModel(DcfParameters::bianchi_fhss())
-        .make_optimal_rate(std::max(max_load, 2));
-  }
-  if (spec.rfind("powerlaw=", 0) == 0) {
-    const double alpha = std::strtod(spec.c_str() + 9, nullptr);
-    return std::make_shared<PowerLawRate>(1.0, alpha);
-  }
-  usage("unknown rate function '" + spec + "'");
 }
 
 GameConfig parse_config(const CliOptions& options) {
   if (options.positional.size() < 3) usage("expected N C k");
-  const auto users =
-      static_cast<std::size_t>(std::atoi(options.positional[0].c_str()));
-  const auto channels =
-      static_cast<std::size_t>(std::atoi(options.positional[1].c_str()));
-  const int radios = std::atoi(options.positional[2].c_str());
-  return GameConfig(users, channels, radios);
+  const std::size_t users = parse_count("N", options.positional[0]);
+  const std::size_t channels = parse_count("C", options.positional[1]);
+  const std::size_t radios = parse_count("k", options.positional[2]);
+  return GameConfig(users, channels, static_cast<RadioCount>(radios));
 }
 
 void report_state(const Game& game, const StrategyMatrix& matrix) {
@@ -258,51 +328,34 @@ int cmd_simulate(const CliOptions& options) {
   return 0;
 }
 
-/// Axis values beyond this are certainly typos, and a range can't expand to
-/// more elements than this either (a grid axis of a million points already
-/// means >1e6 runs on its own).
-constexpr std::size_t kMaxAxisValue = 1000000;
-
-/// Strict decimal parse; rejects empty strings, trailing junk and absurd
-/// magnitudes so a typo like "4.8" or "4:40000000000" cannot silently
-/// shrink — or explode — the experiment grid.
-std::size_t parse_count(const std::string& text) {
-  if (text.empty() || text.size() > 7 ||
-      text.find_first_not_of("0123456789") != std::string::npos) {
-    usage("expected an integer in [0, 1000000], got '" + text + "'");
-  }
-  const std::size_t value = std::strtoull(text.c_str(), nullptr, 10);
-  if (value > kMaxAxisValue) {
-    usage("expected an integer in [0, 1000000], got '" + text + "'");
-  }
-  return value;
-}
-
-/// Expands "4,8,16" or "2:40" / "2:40:2" into the listed integers.
-std::vector<std::size_t> parse_size_list(const std::string& text) {
+/// Expands "4,8,16" or "2:40" / "2:40:2" into the listed integers; every
+/// element goes through the strict bounded parse_count.
+std::vector<std::size_t> parse_size_list(const std::string& flag,
+                                         const std::string& text) {
   std::vector<std::size_t> values;
   std::istringstream stream(text);
   std::string item;
   while (std::getline(stream, item, ',')) {
     const auto first_colon = item.find(':');
     if (first_colon == std::string::npos) {
-      values.push_back(parse_count(item));
+      values.push_back(parse_count(flag, item));
       continue;
     }
     const auto second_colon = item.find(':', first_colon + 1);
-    const std::size_t lo = parse_count(item.substr(0, first_colon));
+    const std::size_t lo = parse_count(flag, item.substr(0, first_colon));
     const std::size_t hi = parse_count(
+        flag,
         item.substr(first_colon + 1, second_colon == std::string::npos
                                          ? std::string::npos
                                          : second_colon - first_colon - 1));
     const std::size_t step =
         second_colon == std::string::npos
             ? 1
-            : parse_count(item.substr(second_colon + 1));
-    if (step == 0 || hi < lo) usage("bad range '" + item + "'");
+            : parse_count(flag, item.substr(second_colon + 1));
+    if (step == 0 || hi < lo) usage("bad range '" + item + "' for " + flag);
     for (std::size_t v = lo; v <= hi; v += step) values.push_back(v);
   }
-  if (values.empty()) usage("empty list '" + text + "'");
+  if (values.empty()) usage("empty list '" + text + "' for " + flag);
   return values;
 }
 
@@ -348,10 +401,10 @@ int cmd_sweep(const CliOptions& options) {
           "--radios (got '" + options.positional.front() + "')");
   }
   engine::SweepSpec spec;
-  spec.users = parse_size_list(options.users_list);
-  spec.channels = parse_size_list(options.channels_list);
+  spec.users = parse_size_list("--users", options.users_list);
+  spec.channels = parse_size_list("--channels", options.channels_list);
   spec.radios.clear();
-  for (const std::size_t k : parse_size_list(options.radios_list)) {
+  for (const std::size_t k : parse_size_list("--radios", options.radios_list)) {
     spec.radios.push_back(static_cast<RadioCount>(k));
   }
   spec.rates = parse_enum_list(options.rates_list, parse_rate_spec);
@@ -362,6 +415,16 @@ int cmd_sweep(const CliOptions& options) {
   spec.replicates = options.replicates;
   spec.base_seed = options.seed;
   spec.max_activations = options.max_activations;
+  if (!options.sim_mac.empty()) {
+    engine::SimTierSpec tier;
+    tier.mac = sim::parse_mac_kind(options.sim_mac);
+    tier.duration_s = options.sim_seconds;
+    tier.replicates = options.sim_replicates;
+    spec.sim_tier = tier;
+  } else if (options.sim_flags_given) {
+    usage("--sim-seconds/--sim-replicates have no effect without "
+          "--sim dcf|tdma");
+  }
   if (spec.expand().empty()) {
     usage("the grid has no valid (N, C, k) combination: every radios value "
           "exceeds every channels value (model requires k <= |C|)");
