@@ -38,15 +38,13 @@ void apply_change(StrategyMatrix& strategies, const SingleChange& change,
 
 /// Applies the user's response; returns true if the allocation changed.
 /// `cache` is null on the full-recompute path.
-bool activate(const Game& game, StrategyMatrix& strategies, UserId user,
+bool activate(const GameModel& model, StrategyMatrix& strategies, UserId user,
               const DynamicsOptions& options, Rng* rng, UtilityCache* cache) {
   switch (options.granularity) {
     case ResponseGranularity::kBestResponse: {
       const double current =
-          cache ? cache->utility(user) : game.utility(strategies, user);
-      BestResponse response =
-          cache ? best_response(game, strategies, user, cache->rates())
-                : best_response(game, strategies, user);
+          cache ? cache->utility(user) : model.utility(strategies, user);
+      BestResponse response = model.best_response(strategies, user);
       if (response.utility > current + options.tolerance) {
         if (cache) {
           cache->set_row(strategies, user, response.strategy);
@@ -59,19 +57,15 @@ bool activate(const Game& game, StrategyMatrix& strategies, UserId user,
     }
     case ResponseGranularity::kBestSingleMove: {
       const auto change =
-          cache ? best_single_change(game, strategies, user, options.tolerance,
-                                     cache->rates())
-                : best_single_change(game, strategies, user, options.tolerance);
+          model.best_single_change(strategies, user, options.tolerance);
       if (!change) return false;
       apply_change(strategies, *change, cache);
       return true;
     }
     case ResponseGranularity::kRandomImprovingMove: {
       const std::vector<SingleChange> improving =
-          cache ? improving_changes_for_user(game, strategies, user,
-                                             options.tolerance, cache->rates())
-                : improving_changes_for_user(game, strategies, user,
-                                             options.tolerance);
+          model.improving_changes_for_user(strategies, user,
+                                           options.tolerance);
       if (improving.empty()) return false;
       apply_change(strategies, improving[rng->index(improving.size())], cache);
       return true;
@@ -82,25 +76,25 @@ bool activate(const Game& game, StrategyMatrix& strategies, UserId user,
 
 }  // namespace
 
-DynamicsResult run_response_dynamics(const Game& game,
+DynamicsResult run_response_dynamics(const GameModel& model,
                                      const StrategyMatrix& start,
                                      const DynamicsOptions& options,
                                      Rng* rng) {
-  game.check_compatible(start);
+  model.validate(start);
   if ((options.order == ActivationOrder::kUniformRandom ||
        options.granularity == ResponseGranularity::kRandomImprovingMove) &&
       rng == nullptr) {
     throw std::invalid_argument(
         "run_response_dynamics: this configuration requires an Rng");
   }
-  const std::size_t users = game.config().num_users;
+  const std::size_t users = model.config().num_users;
   DynamicsResult result{false, 0, 0, start, {}};
   StrategyMatrix& state = result.final_state;
   std::optional<UtilityCache> cache;
-  if (options.use_incremental_cache) cache.emplace(game, state);
+  if (options.use_incremental_cache) cache.emplace(model, state);
   UtilityCache* cache_ptr = cache ? &*cache : nullptr;
   const auto current_welfare = [&] {
-    return cache_ptr ? cache_ptr->welfare() : game.welfare(state);
+    return cache_ptr ? cache_ptr->welfare() : model.welfare(state);
   };
   if (options.record_welfare_trace) {
     result.welfare_trace.push_back(current_welfare());
@@ -117,7 +111,7 @@ DynamicsResult run_response_dynamics(const Game& game,
                             : static_cast<UserId>(rng->index(users));
     next_user = (next_user + 1) % users;
     ++result.activations;
-    if (activate(game, state, user, options, rng, cache_ptr)) {
+    if (activate(model, state, user, options, rng, cache_ptr)) {
       ++result.improving_steps;
       quiet_streak = 0;
       if (options.record_welfare_trace) {
@@ -136,7 +130,7 @@ DynamicsResult run_response_dynamics(const Game& game,
     bool any_improvement = false;
     for (UserId verify = 0; verify < users; ++verify) {
       ++result.activations;
-      if (activate(game, state, verify, options, rng, cache_ptr)) {
+      if (activate(model, state, verify, options, rng, cache_ptr)) {
         any_improvement = true;
         ++result.improving_steps;
         if (options.record_welfare_trace) {
@@ -152,6 +146,13 @@ DynamicsResult run_response_dynamics(const Game& game,
     quiet_streak = 0;
   }
   return result;
+}
+
+DynamicsResult run_response_dynamics(const Game& game,
+                                     const StrategyMatrix& start,
+                                     const DynamicsOptions& options,
+                                     Rng* rng) {
+  return run_response_dynamics(GameModel(game), start, options, rng);
 }
 
 }  // namespace mrca

@@ -3,7 +3,10 @@
 //
 // The paper reaches its NE with a centralized sequential algorithm and
 // leaves distributed play as future work; this engine studies what actually
-// happens when users keep deviating on their own. Two granularities:
+// happens when users keep deviating on their own. The driver runs against
+// the unified GameModel, so one cache-accelerated implementation serves the
+// homogeneous base game AND every extension (heterogeneous channels,
+// per-user radio budgets, energy-priced utilities). Two granularities:
 //   - kBestResponse: the user jumps to an exact best response (DP oracle);
 //   - kBestSingleMove: the user applies the best single-radio change
 //     (move/deploy/park) — the "local" dynamics the paper's lemmas analyze.
@@ -15,6 +18,7 @@
 
 #include "common/rng.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -42,7 +46,7 @@ struct DynamicsOptions {
   /// Maintain utilities/welfare incrementally through a UtilityCache and
   /// memoized rate lookups (O(changed channels) per activation) instead of
   /// recomputing them from the full matrix. Same trajectories, much faster;
-  /// off reproduces the original full-recompute path for A/B benchmarks.
+  /// off reproduces the full-recompute path for A/B benchmarks.
   bool use_incremental_cache = true;
 };
 
@@ -57,7 +61,16 @@ struct DynamicsResult {
 };
 
 /// Runs the dynamics from `start` until stable or the activation budget is
-/// exhausted. `rng` is required for ActivationOrder::kUniformRandom.
+/// exhausted. `rng` is required for ActivationOrder::kUniformRandom. This
+/// is THE dynamics implementation: every game the library models (base and
+/// extensions alike) runs through it.
+DynamicsResult run_response_dynamics(const GameModel& model,
+                                     const StrategyMatrix& start,
+                                     const DynamicsOptions& options = {},
+                                     Rng* rng = nullptr);
+
+/// Convenience overload for the paper's homogeneous game: builds the
+/// equivalent GameModel (one tabulation) and delegates.
 DynamicsResult run_response_dynamics(const Game& game,
                                      const StrategyMatrix& start,
                                      const DynamicsOptions& options = {},

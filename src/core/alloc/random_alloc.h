@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -19,5 +20,11 @@ StrategyMatrix random_partial_allocation(const Game& game, Rng& rng);
 /// Every user places all k radios on k distinct random channels (a random
 /// member of the "spread" strategy class of Theorem 1's main case).
 StrategyMatrix random_spread_allocation(const Game& game, Rng& rng);
+
+// Unified-model variants: each user draws against their OWN radio budget,
+// so the same starts serve heterogeneous/variable-radio/energy scenarios.
+// For uniform budgets the RNG stream is identical to the Game overloads.
+StrategyMatrix random_full_allocation(const GameModel& model, Rng& rng);
+StrategyMatrix random_partial_allocation(const GameModel& model, Rng& rng);
 
 }  // namespace mrca

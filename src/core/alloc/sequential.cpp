@@ -26,12 +26,11 @@ ChannelId pick(const std::vector<ChannelId>& candidates, TieBreak tie_break,
   throw std::logic_error("sequential allocator: unknown tie break");
 }
 
-}  // namespace
-
-ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
-                          UserId user, TieBreak tie_break, Rng* rng,
-                          UtilityCache* cache) {
-  game.check_compatible(strategies);
+/// The placement rule shared by the Game and GameModel entry points: it
+/// reads only the matrix, so one implementation serves every game kind.
+ChannelId place_one_radio_rule(StrategyMatrix& strategies, UserId user,
+                               TieBreak tie_break, Rng* rng,
+                               UtilityCache* cache) {
   const std::size_t channels = strategies.num_channels();
   const RadioCount min_load = strategies.min_load();
   const RadioCount max_load = strategies.max_load();
@@ -71,6 +70,39 @@ ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
   return chosen;
 }
 
+/// Checks `order` is a permutation of all users; fills natural order if
+/// empty.
+std::vector<UserId> resolve_user_order(std::size_t num_users,
+                                       const SequentialOptions& options) {
+  std::vector<UserId> order = options.user_order;
+  if (order.empty()) {
+    order.resize(num_users);
+    for (UserId i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  if (order.size() != num_users) {
+    throw std::invalid_argument(
+        "sequential_allocation: user_order must list every user exactly once");
+  }
+  std::vector<bool> seen(num_users, false);
+  for (const UserId user : order) {
+    if (user >= seen.size() || seen[user]) {
+      throw std::invalid_argument(
+          "sequential_allocation: user_order must be a permutation");
+    }
+    seen[user] = true;
+  }
+  return order;
+}
+
+}  // namespace
+
+ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
+                          UserId user, TieBreak tie_break, Rng* rng,
+                          UtilityCache* cache) {
+  game.check_compatible(strategies);
+  return place_one_radio_rule(strategies, user, tie_break, rng, cache);
+}
+
 void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
                                 UserId user, TieBreak tie_break, Rng* rng,
                                 UtilityCache* cache) {
@@ -81,7 +113,7 @@ void allocate_user_sequentially(const Game& game, StrategyMatrix& strategies,
   }
   const RadioCount k = game.config().radios_per_user;
   for (RadioCount j = 0; j < k; ++j) {
-    place_one_radio(game, strategies, user, tie_break, rng, cache);
+    place_one_radio_rule(strategies, user, tie_break, rng, cache);
   }
 }
 
@@ -89,25 +121,38 @@ StrategyMatrix sequential_allocation(const Game& game,
                                      const SequentialOptions& options,
                                      Rng* rng) {
   StrategyMatrix strategies = game.empty_strategy();
-  std::vector<UserId> order = options.user_order;
-  if (order.empty()) {
-    order.resize(game.config().num_users);
-    for (UserId i = 0; i < order.size(); ++i) order[i] = i;
-  }
-  if (order.size() != game.config().num_users) {
-    throw std::invalid_argument(
-        "sequential_allocation: user_order must list every user exactly once");
-  }
-  std::vector<bool> seen(game.config().num_users, false);
-  for (const UserId user : order) {
-    if (user >= seen.size() || seen[user]) {
-      throw std::invalid_argument(
-          "sequential_allocation: user_order must be a permutation");
-    }
-    seen[user] = true;
-  }
+  const std::vector<UserId> order =
+      resolve_user_order(game.config().num_users, options);
   for (const UserId user : order) {
     allocate_user_sequentially(game, strategies, user, options.tie_break, rng);
+  }
+  return strategies;
+}
+
+void allocate_user_sequentially(const GameModel& model,
+                                StrategyMatrix& strategies, UserId user,
+                                TieBreak tie_break, Rng* rng,
+                                UtilityCache* cache) {
+  model.validate(strategies);
+  if (strategies.user_total(user) != 0) {
+    throw std::logic_error(
+        "allocate_user_sequentially: user already has radios deployed");
+  }
+  const RadioCount k = model.budget(user);
+  for (RadioCount j = 0; j < k; ++j) {
+    place_one_radio_rule(strategies, user, tie_break, rng, cache);
+  }
+}
+
+StrategyMatrix sequential_allocation(const GameModel& model,
+                                     const SequentialOptions& options,
+                                     Rng* rng) {
+  StrategyMatrix strategies = model.empty_strategy();
+  const std::vector<UserId> order =
+      resolve_user_order(model.config().num_users, options);
+  for (const UserId user : order) {
+    allocate_user_sequentially(model, strategies, user, options.tie_break,
+                               rng);
   }
   return strategies;
 }

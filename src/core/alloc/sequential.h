@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -59,5 +60,23 @@ ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
                           UserId user,
                           TieBreak tie_break = TieBreak::kLowestIndex,
                           Rng* rng = nullptr, UtilityCache* cache = nullptr);
+
+// --- Unified-model variants -----------------------------------------------
+// The Algorithm 1 placement rule only reads channel loads, so it carries
+// over verbatim to every extension game: each user deploys their OWN budget
+// of radios onto least-loaded channels. For heterogeneous rates this is a
+// deterministic load-balancing start (the dynamics then water-fill).
+
+/// Runs the generalized Algorithm 1 from an empty allocation.
+StrategyMatrix sequential_allocation(const GameModel& model,
+                                     const SequentialOptions& options = {},
+                                     Rng* rng = nullptr);
+
+/// Allocates all budget(user) radios of one user into an existing matrix.
+void allocate_user_sequentially(const GameModel& model,
+                                StrategyMatrix& strategies, UserId user,
+                                TieBreak tie_break = TieBreak::kLowestIndex,
+                                Rng* rng = nullptr,
+                                UtilityCache* cache = nullptr);
 
 }  // namespace mrca

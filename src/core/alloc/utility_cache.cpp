@@ -7,16 +7,23 @@
 
 namespace mrca {
 
+UtilityCache::UtilityCache(const GameModel& model,
+                           const StrategyMatrix& strategies)
+    : model_(&model), num_channels_(model.config().num_channels) {
+  rebuild(strategies);
+}
+
 UtilityCache::UtilityCache(const Game& game, const StrategyMatrix& strategies)
-    : game_(&game),
-      rates_(game.rate_function(), game.config().total_radios()),
+    : owned_(std::make_shared<GameModel>(game)),
+      model_(owned_.get()),
       num_channels_(game.config().num_channels) {
   rebuild(strategies);
 }
 
 void UtilityCache::rebuild(const StrategyMatrix& strategies) {
-  game_->check_compatible(strategies);
+  model_->validate(strategies);
   const std::size_t users = strategies.num_users();
+  const double cost = model_->radio_cost();
   utilities_.assign(users, 0.0);
   welfare_ = 0.0;
   occupants_.assign(num_channels_, {});
@@ -24,14 +31,20 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
   for (ChannelId c = 0; c < num_channels_; ++c) {
     const RadioCount load = strategies.channel_load(c);
     if (load <= 0) continue;
-    welfare_ += rates_.rate(load);
-    const double per_radio = rates_.per_radio(load);
+    welfare_ += model_->rate(c, load);
+    const double per_radio = model_->per_radio(c, load);
     for (UserId i = 0; i < users; ++i) {
       const RadioCount own = strategies.at(i, c);
       if (own <= 0) continue;
       utilities_[i] += static_cast<double>(own) * per_radio;
       insert_occupant(i, c);
     }
+  }
+  if (cost > 0.0) {
+    for (UserId i = 0; i < users; ++i) {
+      utilities_[i] -= cost * static_cast<double>(strategies.user_total(i));
+    }
+    welfare_ -= cost * static_cast<double>(strategies.total_deployed());
   }
 }
 
@@ -41,8 +54,8 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
   if (delta == 0) return;
   const RadioCount old_load = strategies.channel_load(channel);
   const RadioCount new_load = old_load + delta;
-  const double per_radio_old = rates_.per_radio(old_load);
-  const double per_radio_new = rates_.per_radio(new_load);
+  const double per_radio_old = model_->per_radio(channel, old_load);
+  const double per_radio_new = model_->per_radio(channel, new_load);
   const double repricing = per_radio_new - per_radio_old;
   if (repricing != 0.0) {
     for (const UserId occupant : occupants_[channel]) {
@@ -50,8 +63,12 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
           static_cast<double>(strategies.at(occupant, channel)) * repricing;
     }
   }
-  utilities_[user] += static_cast<double>(delta) * per_radio_new;
-  welfare_ += rates_.rate(new_load) - rates_.rate(old_load);
+  const double cost_delta =
+      model_->radio_cost() * static_cast<double>(delta);
+  utilities_[user] +=
+      static_cast<double>(delta) * per_radio_new - cost_delta;
+  welfare_ += model_->rate(channel, new_load) -
+              model_->rate(channel, old_load) - cost_delta;
 
   const RadioCount old_own = strategies.at(user, channel);
   if (old_own == 0 && delta > 0) insert_occupant(user, channel);
@@ -59,12 +76,14 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
 }
 
 // Every mutator validates its preconditions (mirroring StrategyMatrix's
-// checks) BEFORE the first cached value changes: a mutation that throws must
-// leave both the matrix and the cache exactly as they were.
+// checks, plus the model's per-user budgets) BEFORE the first cached value
+// changes: a mutation that throws must leave both the matrix and the cache
+// exactly as they were.
 
 void UtilityCache::add_radio(StrategyMatrix& strategies, UserId user,
                              ChannelId channel) {
-  if (strategies.spare_radios(user) <= 0) {  // also validates the user id
+  (void)strategies.spare_radios(user);  // validates the user id
+  if (strategies.user_total(user) >= model_->budget(user)) {
     throw std::logic_error("add_radio: user " + std::to_string(user) +
                            " has no spare radio");
   }
@@ -109,10 +128,10 @@ void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
     if (count < 0) throw std::invalid_argument("set_row: negative radio count");
     total += count;
   }
-  if (total > game_->config().radios_per_user) {
+  if (total > model_->budget(user)) {
     throw std::invalid_argument(
         "set_row: user exceeds radio budget k=" +
-        std::to_string(game_->config().radios_per_user));
+        std::to_string(model_->budget(user)));
   }
   // Channel updates are additive and independent, so reprice every changed
   // channel against the old matrix, then commit the row in one go.
@@ -123,10 +142,10 @@ void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
 }
 
 double UtilityCache::max_drift(const StrategyMatrix& strategies) const {
-  double drift = std::abs(welfare_ - game_->welfare(strategies));
+  double drift = std::abs(welfare_ - model_->welfare(strategies));
   for (UserId i = 0; i < strategies.num_users(); ++i) {
-    drift = std::max(drift,
-                     std::abs(utilities_[i] - game_->utility(strategies, i)));
+    drift = std::max(
+        drift, std::abs(utilities_[i] - model_->utility(strategies, i)));
   }
   return drift;
 }

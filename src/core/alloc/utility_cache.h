@@ -1,25 +1,27 @@
 // Incremental utility bookkeeping for the response dynamics and the batch
-// engine.
+// engine, generalized over the unified GameModel.
 //
 // The full recompute of U_i(S) is O(|C|) per user and welfare is O(|N|*|C|);
 // the dynamics touch at most two channel loads per activation, so almost all
 // of that work repeats unchanged values. UtilityCache keeps
-//   - a RateTable (R(k) and R(k)/k memoized over every reachable load),
-//   - every user's utility U_i,
-//   - the social welfare sum_c R(k_c),
+//   - every user's utility U_i (energy price included),
+//   - the social welfare sum_c R_c(k_c) - cost * deployed,
 //   - per-channel occupant lists (users with k_{i,c} > 0),
 // and updates them under single-radio deltas in O(occupants of the changed
-// channels) instead of re-deriving them from the whole matrix. Mutations go
-// through the cache (which forwards to the StrategyMatrix) so matrix and
-// cache can never drift apart structurally; utilities are maintained in
-// floating point incrementally and agree with the full recompute to ~1e-13
-// over any realistic trajectory (regression-tested).
+// channels) instead of re-deriving them from the whole matrix; rate lookups
+// go through the model's memoized per-channel tables. Mutations go through
+// the cache (which forwards to the StrategyMatrix) so matrix and cache can
+// never drift apart structurally; utilities are maintained in floating
+// point incrementally and agree with the full recompute to ~1e-13 over any
+// realistic trajectory (regression-tested for every scenario kind).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/rate_table.h"
 #include "core/strategy.h"
 #include "core/types.h"
@@ -28,18 +30,21 @@ namespace mrca {
 
 class UtilityCache {
  public:
-  /// Builds the cache for `strategies` (O(|N|*|C|) + rate tabulation).
-  /// The game must outlive the cache.
+  /// Builds the cache for `strategies` (O(|N|*|C|)). The model must outlive
+  /// the cache.
+  UtilityCache(const GameModel& model, const StrategyMatrix& strategies);
+
+  /// Convenience for the paper's homogeneous game: builds and owns an
+  /// equivalent GameModel internally (tabulation is the only extra work).
   UtilityCache(const Game& game, const StrategyMatrix& strategies);
 
-  const Game& game() const noexcept { return *game_; }
-  const RateTable& rates() const noexcept { return rates_; }
+  const GameModel& model() const noexcept { return *model_; }
 
   /// U_i(S) of the tracked matrix, O(1).
   double utility(UserId user) const { return utilities_[user]; }
   const std::vector<double>& utilities() const noexcept { return utilities_; }
 
-  /// Social welfare sum_c R(k_c), O(1).
+  /// Social welfare, O(1).
   double welfare() const noexcept { return welfare_; }
 
   /// Users with at least one radio on `channel` (unspecified order).
@@ -50,7 +55,8 @@ class UtilityCache {
   // Mutations: forward to `strategies` and update the cached values.
   // `strategies` must be the matrix this cache was built on (or last
   // rebuilt from); passing a different matrix of the same shape corrupts
-  // the cache silently, so keep the pairing tight.
+  // the cache silently, so keep the pairing tight. Budget checks use the
+  // model's PER-USER budgets, not just the matrix cap.
   void add_radio(StrategyMatrix& strategies, UserId user, ChannelId channel);
   void remove_radio(StrategyMatrix& strategies, UserId user, ChannelId channel);
   void move_radio(StrategyMatrix& strategies, UserId user, ChannelId from,
@@ -67,8 +73,8 @@ class UtilityCache {
 
  private:
   /// Repriced-utility update for one channel whose load changes by `delta`
-  /// radios of `user`. Must run BEFORE the matrix mutation (it reads the
-  /// old counts).
+  /// radios of `user` (the energy price of the delta is folded in). Must
+  /// run BEFORE the matrix mutation (it reads the old counts).
   void reprice_channel(const StrategyMatrix& strategies, UserId user,
                        ChannelId channel, RadioCount delta);
   void insert_occupant(UserId user, ChannelId channel);
@@ -79,8 +85,8 @@ class UtilityCache {
 
   static constexpr std::size_t kNotOccupant = static_cast<std::size_t>(-1);
 
-  const Game* game_;
-  RateTable rates_;
+  std::shared_ptr<const GameModel> owned_;  ///< set by the Game constructor
+  const GameModel* model_;
   std::size_t num_channels_ = 0;
   std::vector<double> utilities_;
   double welfare_ = 0.0;

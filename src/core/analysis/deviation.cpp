@@ -1,189 +1,31 @@
 #include "core/analysis/deviation.h"
 
-#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/analysis/deviation_detail.h"
 
 namespace mrca {
 namespace {
 
-// The scanning and DP code below is written once against a generic rate
-// lookup so the virtual-dispatch path (RateFunction) and the memoized path
-// (RateTable) produce bit-identical values from the same arithmetic.
+// The homogeneous game's two rate-lookup flavors, adapted to the shared
+// detail:: implementation's (channel, load) signature (the channel index
+// is irrelevant when every channel runs the same R): the virtual-dispatch
+// path (RateFunction) and the memoized path (RateTable) produce
+// bit-identical values from the same arithmetic in deviation_detail.h.
 
 struct DirectRate {
   const RateFunction* fn;
-  double operator()(RadioCount k) const { return fn->rate(k); }
+  double operator()(ChannelId, RadioCount k) const { return fn->rate(k); }
 };
 
 struct TableRate {
   const RateTable* table;
-  double operator()(RadioCount k) const { return table->rate(k); }
+  double operator()(ChannelId, RadioCount k) const { return table->rate(k); }
 };
 
-/// User's rate share on a channel with `own` of its radios among `load`
-/// total radios paying rate R(load). Zero own radios earn zero.
-template <typename RateFn>
-double share(RateFn rate, RadioCount own, RadioCount load) {
-  if (own <= 0 || load <= 0) return 0.0;
-  return static_cast<double>(own) / static_cast<double>(load) * rate(load);
-}
-
-template <typename RateFn>
-double move_benefit_impl(const StrategyMatrix& strategies,
-                         const RadioMove& move, RateFn rate) {
-  if (move.from == move.to) return 0.0;
-  const RadioCount own_from = strategies.at(move.user, move.from);
-  const RadioCount own_to = strategies.at(move.user, move.to);
-  const RadioCount load_from = strategies.channel_load(move.from);
-  const RadioCount load_to = strategies.channel_load(move.to);
-  const double before =
-      share(rate, own_from, load_from) + share(rate, own_to, load_to);
-  const double after = share(rate, own_from - 1, load_from - 1) +
-                       share(rate, own_to + 1, load_to + 1);
-  return after - before;
-}
-
-template <typename RateFn>
-double deploy_benefit_impl(const StrategyMatrix& strategies, UserId user,
-                           ChannelId channel, RateFn rate) {
-  const RadioCount own = strategies.at(user, channel);
-  const RadioCount load = strategies.channel_load(channel);
-  return share(rate, own + 1, load + 1) - share(rate, own, load);
-}
-
-template <typename RateFn>
-double park_benefit_impl(const StrategyMatrix& strategies, UserId user,
-                         ChannelId channel, RateFn rate) {
-  const RadioCount own = strategies.at(user, channel);
-  const RadioCount load = strategies.channel_load(channel);
-  return share(rate, own - 1, load - 1) - share(rate, own, load);
-}
-
-template <typename RateFn>
-std::optional<SingleChange> best_single_change_impl(
-    const StrategyMatrix& strategies, UserId user, double tolerance,
-    RateFn rate) {
-  std::optional<SingleChange> best;
-  auto consider = [&](SingleChange candidate) {
-    if (candidate.benefit <= tolerance) return;
-    if (!best || candidate.benefit > best->benefit) best = candidate;
-  };
-
-  const std::size_t channels = strategies.num_channels();
-  const bool has_spare = strategies.spare_radios(user) > 0;
-  for (ChannelId to = 0; to < channels; ++to) {
-    if (has_spare) {
-      consider({SingleChange::Kind::kDeploy, user, /*from=*/0, to,
-                deploy_benefit_impl(strategies, user, to, rate)});
-    }
-  }
-  for (ChannelId from = 0; from < channels; ++from) {
-    if (strategies.at(user, from) <= 0) continue;
-    consider({SingleChange::Kind::kPark, user, from, /*to=*/0,
-              park_benefit_impl(strategies, user, from, rate)});
-    for (ChannelId to = 0; to < channels; ++to) {
-      if (to == from) continue;
-      consider({SingleChange::Kind::kMove, user, from, to,
-                move_benefit_impl(strategies, {user, from, to}, rate)});
-    }
-  }
-  return best;
-}
-
-template <typename RateFn>
-std::vector<SingleChange> improving_changes_impl(
-    const StrategyMatrix& strategies, UserId user, double tolerance,
-    RateFn rate) {
-  std::vector<SingleChange> result;
-  const std::size_t channels = strategies.num_channels();
-  const bool has_spare = strategies.spare_radios(user) > 0;
-  for (ChannelId to = 0; to < channels; ++to) {
-    if (has_spare) {
-      const double benefit = deploy_benefit_impl(strategies, user, to, rate);
-      if (benefit > tolerance) {
-        result.push_back({SingleChange::Kind::kDeploy, user, 0, to, benefit});
-      }
-    }
-  }
-  for (ChannelId from = 0; from < channels; ++from) {
-    if (strategies.at(user, from) <= 0) continue;
-    const double park = park_benefit_impl(strategies, user, from, rate);
-    if (park > tolerance) {
-      result.push_back({SingleChange::Kind::kPark, user, from, 0, park});
-    }
-    for (ChannelId to = 0; to < channels; ++to) {
-      if (to == from) continue;
-      const double benefit =
-          move_benefit_impl(strategies, {user, from, to}, rate);
-      if (benefit > tolerance) {
-        result.push_back(
-            {SingleChange::Kind::kMove, user, from, to, benefit});
-      }
-    }
-  }
-  return result;
-}
-
-template <typename RateFn>
-BestResponse best_response_impl(const Game& game,
-                                const StrategyMatrix& strategies, UserId user,
-                                RateFn rate) {
-  const std::size_t channels = strategies.num_channels();
-  const auto budget = static_cast<std::size_t>(game.config().radios_per_user);
-
-  // Opponents' load per channel.
-  std::vector<RadioCount> opponent_load(channels);
-  for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
-  }
-
-  // f[c][x]: user's rate on channel c when placing x radios there.
-  std::vector<std::vector<double>> gain(channels,
-                                        std::vector<double>(budget + 1, 0.0));
-  for (ChannelId c = 0; c < channels; ++c) {
-    for (std::size_t x = 1; x <= budget; ++x) {
-      const auto load =
-          opponent_load[c] + static_cast<RadioCount>(x);
-      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                   rate(load);
-    }
-  }
-
-  // value[c][b]: best achievable total from channels c..end with b radios.
-  // choice[c][b]: the optimal count placed on channel c in that state.
-  std::vector<std::vector<double>> value(
-      channels + 1, std::vector<double>(budget + 1, 0.0));
-  std::vector<std::vector<std::size_t>> choice(
-      channels, std::vector<std::size_t>(budget + 1, 0));
-  for (ChannelId c = channels; c-- > 0;) {
-    for (std::size_t b = 0; b <= budget; ++b) {
-      double best_value = -1.0;
-      std::size_t best_x = 0;
-      for (std::size_t x = 0; x <= b; ++x) {
-        const double candidate = gain[c][x] + value[c + 1][b - x];
-        // Strict '>' with ascending x prefers parking surplus radios on
-        // ties; utility is unaffected, and tests assert only the value.
-        if (candidate > best_value) {
-          best_value = candidate;
-          best_x = x;
-        }
-      }
-      value[c][b] = best_value;
-      choice[c][b] = best_x;
-    }
-  }
-
-  BestResponse response;
-  response.utility = value[0][budget];
-  response.strategy.resize(channels, 0);
-  std::size_t remaining = budget;
-  for (ChannelId c = 0; c < channels; ++c) {
-    const std::size_t x = choice[c][remaining];
-    response.strategy[c] = static_cast<RadioCount>(x);
-    remaining -= x;
-  }
-  return response;
+bool has_spare(const StrategyMatrix& strategies, UserId user) {
+  return strategies.spare_radios(user) > 0;
 }
 
 }  // namespace
@@ -212,8 +54,8 @@ double move_benefit(const Game& game, const StrategyMatrix& strategies,
   if (strategies.at(move.user, move.from) <= 0) {
     throw std::logic_error("move_benefit: user has no radio on source channel");
   }
-  return move_benefit_impl(strategies, move,
-                           DirectRate{&game.rate_function()});
+  return detail::move_benefit_at(strategies, move.user, move.from, move.to,
+                                 DirectRate{&game.rate_function()});
 }
 
 double deploy_benefit(const Game& game, const StrategyMatrix& strategies,
@@ -222,8 +64,9 @@ double deploy_benefit(const Game& game, const StrategyMatrix& strategies,
   if (strategies.spare_radios(user) <= 0) {
     throw std::logic_error("deploy_benefit: user has no spare radio");
   }
-  return deploy_benefit_impl(strategies, user, channel,
-                             DirectRate{&game.rate_function()});
+  return detail::deploy_benefit_at(strategies, user, channel,
+                                   DirectRate{&game.rate_function()},
+                                   /*cost=*/0.0);
 }
 
 double park_benefit(const Game& game, const StrategyMatrix& strategies,
@@ -232,16 +75,18 @@ double park_benefit(const Game& game, const StrategyMatrix& strategies,
   if (strategies.at(user, channel) <= 0) {
     throw std::logic_error("park_benefit: user has no radio on that channel");
   }
-  return park_benefit_impl(strategies, user, channel,
-                           DirectRate{&game.rate_function()});
+  return detail::park_benefit_at(strategies, user, channel,
+                                 DirectRate{&game.rate_function()},
+                                 /*cost=*/0.0);
 }
 
 std::optional<SingleChange> best_single_change(const Game& game,
                                                const StrategyMatrix& strategies,
                                                UserId user, double tolerance) {
   game.check_compatible(strategies);
-  return best_single_change_impl(strategies, user, tolerance,
-                                 DirectRate{&game.rate_function()});
+  return detail::best_single_change(strategies, user, tolerance,
+                                    DirectRate{&game.rate_function()},
+                                    /*cost=*/0.0, has_spare(strategies, user));
 }
 
 std::optional<SingleChange> best_single_change(const Game& game,
@@ -249,24 +94,27 @@ std::optional<SingleChange> best_single_change(const Game& game,
                                                UserId user, double tolerance,
                                                const RateTable& rates) {
   game.check_compatible(strategies);
-  return best_single_change_impl(strategies, user, tolerance,
-                                 TableRate{&rates});
+  return detail::best_single_change(strategies, user, tolerance,
+                                    TableRate{&rates}, /*cost=*/0.0,
+                                    has_spare(strategies, user));
 }
 
 std::vector<SingleChange> improving_changes_for_user(
     const Game& game, const StrategyMatrix& strategies, UserId user,
     double tolerance) {
   game.check_compatible(strategies);
-  return improving_changes_impl(strategies, user, tolerance,
-                                DirectRate{&game.rate_function()});
+  return detail::improving_changes(strategies, user, tolerance,
+                                   DirectRate{&game.rate_function()},
+                                   /*cost=*/0.0, has_spare(strategies, user));
 }
 
 std::vector<SingleChange> improving_changes_for_user(
     const Game& game, const StrategyMatrix& strategies, UserId user,
     double tolerance, const RateTable& rates) {
   game.check_compatible(strategies);
-  return improving_changes_impl(strategies, user, tolerance,
-                                TableRate{&rates});
+  return detail::improving_changes(strategies, user, tolerance,
+                                   TableRate{&rates}, /*cost=*/0.0,
+                                   has_spare(strategies, user));
 }
 
 std::vector<SingleChange> improving_single_changes(
@@ -283,14 +131,19 @@ std::vector<SingleChange> improving_single_changes(
 BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
                            UserId user) {
   game.check_compatible(strategies);
-  return best_response_impl(game, strategies, user,
-                            DirectRate{&game.rate_function()});
+  return detail::best_response(
+      strategies, user,
+      static_cast<std::size_t>(game.config().radios_per_user),
+      DirectRate{&game.rate_function()}, /*cost=*/0.0);
 }
 
 BestResponse best_response(const Game& game, const StrategyMatrix& strategies,
                            UserId user, const RateTable& rates) {
   game.check_compatible(strategies);
-  return best_response_impl(game, strategies, user, TableRate{&rates});
+  return detail::best_response(
+      strategies, user,
+      static_cast<std::size_t>(game.config().radios_per_user),
+      TableRate{&rates}, /*cost=*/0.0);
 }
 
 double utility_if_played(const Game& game, const StrategyMatrix& strategies,

@@ -1,0 +1,194 @@
+// THE single-radio deviation scanner and exact best-response DP — one
+// implementation, shared by the homogeneous Game path (core/analysis/
+// deviation.cpp, rate uniform across channels, zero cost) and the unified
+// GameModel path (core/game_model.cpp, per-channel rates, per-user
+// budgets, energy price). The scan order (deploys, then per-source parks
+// and moves), the strict-'>' tie policy and the share() arithmetic are
+// load-bearing: both paths must walk bit-identical trajectories, so they
+// must come from this file and nowhere else.
+//
+// `RateAt` is any callable `double(ChannelId, RadioCount)` returning the
+// total rate of a channel at a load; `cost` is the per-radio energy price
+// (0 for the paper's game).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/analysis/deviation.h"
+#include "core/strategy.h"
+#include "core/types.h"
+
+namespace mrca {
+namespace detail {
+
+/// User's rate share with `own` of `load` radios on a channel paying
+/// `rate`. Zero own radios earn zero.
+inline double share(double rate, RadioCount own, RadioCount load) {
+  if (own <= 0 || load <= 0) return 0.0;
+  return static_cast<double>(own) / static_cast<double>(load) * rate;
+}
+
+template <typename RateAt>
+double move_benefit_at(const StrategyMatrix& strategies, UserId user,
+                       ChannelId from, ChannelId to, RateAt rate_at) {
+  if (from == to) return 0.0;
+  const RadioCount own_from = strategies.at(user, from);
+  const RadioCount own_to = strategies.at(user, to);
+  const RadioCount load_from = strategies.channel_load(from);
+  const RadioCount load_to = strategies.channel_load(to);
+  const double before = share(rate_at(from, load_from), own_from, load_from) +
+                        share(rate_at(to, load_to), own_to, load_to);
+  const double after =
+      share(rate_at(from, load_from - 1), own_from - 1, load_from - 1) +
+      share(rate_at(to, load_to + 1), own_to + 1, load_to + 1);
+  return after - before;
+}
+
+/// Deploying one spare radio pays the energy price; a move is cost-neutral.
+template <typename RateAt>
+double deploy_benefit_at(const StrategyMatrix& strategies, UserId user,
+                         ChannelId channel, RateAt rate_at, double cost) {
+  const RadioCount own = strategies.at(user, channel);
+  const RadioCount load = strategies.channel_load(channel);
+  return share(rate_at(channel, load + 1), own + 1, load + 1) -
+         share(rate_at(channel, load), own, load) - cost;
+}
+
+/// Parking one radio refunds the energy price.
+template <typename RateAt>
+double park_benefit_at(const StrategyMatrix& strategies, UserId user,
+                       ChannelId channel, RateAt rate_at, double cost) {
+  const RadioCount own = strategies.at(user, channel);
+  const RadioCount load = strategies.channel_load(channel);
+  return share(rate_at(channel, load - 1), own - 1, load - 1) -
+         share(rate_at(channel, load), own, load) + cost;
+}
+
+/// Enumerates every single-radio change of `user` — deploys first (only
+/// when `has_spare`), then per-source parks and moves — feeding each
+/// candidate to `consider(SingleChange)`. The enumeration order is part of
+/// the determinism contract.
+template <typename RateAt, typename Consider>
+void scan_single_changes(const StrategyMatrix& strategies, UserId user,
+                         RateAt rate_at, double cost, bool has_spare,
+                         Consider&& consider) {
+  const std::size_t channels = strategies.num_channels();
+  for (ChannelId to = 0; to < channels; ++to) {
+    if (has_spare) {
+      consider(SingleChange{
+          SingleChange::Kind::kDeploy, user, /*from=*/0, to,
+          deploy_benefit_at(strategies, user, to, rate_at, cost)});
+    }
+  }
+  for (ChannelId from = 0; from < channels; ++from) {
+    if (strategies.at(user, from) <= 0) continue;
+    consider(SingleChange{
+        SingleChange::Kind::kPark, user, from, /*to=*/0,
+        park_benefit_at(strategies, user, from, rate_at, cost)});
+    for (ChannelId to = 0; to < channels; ++to) {
+      if (to == from) continue;
+      consider(SingleChange{
+          SingleChange::Kind::kMove, user, from, to,
+          move_benefit_at(strategies, user, from, to, rate_at)});
+    }
+  }
+}
+
+template <typename RateAt>
+std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
+                                               UserId user, double tolerance,
+                                               RateAt rate_at, double cost,
+                                               bool has_spare) {
+  std::optional<SingleChange> best;
+  scan_single_changes(strategies, user, rate_at, cost, has_spare,
+                      [&](const SingleChange& candidate) {
+                        if (candidate.benefit <= tolerance) return;
+                        if (!best || candidate.benefit > best->benefit) {
+                          best = candidate;
+                        }
+                      });
+  return best;
+}
+
+template <typename RateAt>
+std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
+                                            UserId user, double tolerance,
+                                            RateAt rate_at, double cost,
+                                            bool has_spare) {
+  std::vector<SingleChange> result;
+  scan_single_changes(strategies, user, rate_at, cost, has_spare,
+                      [&](const SingleChange& candidate) {
+                        if (candidate.benefit > tolerance) {
+                          result.push_back(candidate);
+                        }
+                      });
+  return result;
+}
+
+/// Exact best response of `user` against the other users' radios under
+/// `budget`: maximize sum_c f_c(x_c), f_c(x) = x * R_c(L_c + x) / (L_c + x)
+/// - cost * x, with L_c the opponents' load on channel c, subject to
+/// sum_c x_c <= budget. O(|C| * budget^2) DP, no concavity assumption —
+/// an oracle over every deviation including partial deployment.
+template <typename RateAt>
+BestResponse best_response(const StrategyMatrix& strategies, UserId user,
+                           std::size_t budget, RateAt rate_at, double cost) {
+  const std::size_t channels = strategies.num_channels();
+
+  // Opponents' load per channel.
+  std::vector<RadioCount> opponent_load(channels);
+  for (ChannelId c = 0; c < channels; ++c) {
+    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
+  }
+
+  // gain[c][x]: user's utility from placing x radios on channel c.
+  std::vector<std::vector<double>> gain(channels,
+                                        std::vector<double>(budget + 1, 0.0));
+  for (ChannelId c = 0; c < channels; ++c) {
+    for (std::size_t x = 1; x <= budget; ++x) {
+      const RadioCount load = opponent_load[c] + static_cast<RadioCount>(x);
+      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
+                       rate_at(c, load) -
+                   cost * static_cast<double>(x);
+    }
+  }
+
+  // value[c][b]: best achievable total from channels c..end with b radios.
+  // choice[c][b]: the optimal count placed on channel c in that state.
+  std::vector<std::vector<double>> value(channels + 1,
+                                         std::vector<double>(budget + 1, 0.0));
+  std::vector<std::vector<std::size_t>> choice(
+      channels, std::vector<std::size_t>(budget + 1, 0));
+  for (ChannelId c = channels; c-- > 0;) {
+    for (std::size_t b = 0; b <= budget; ++b) {
+      double best_value = -1e300;  // utilities go negative under a cost
+      std::size_t best_x = 0;
+      for (std::size_t x = 0; x <= b; ++x) {
+        const double candidate = gain[c][x] + value[c + 1][b - x];
+        // Strict '>' with ascending x prefers parking surplus radios on
+        // ties; utility is unaffected, and tests assert only the value.
+        if (candidate > best_value) {
+          best_value = candidate;
+          best_x = x;
+        }
+      }
+      value[c][b] = best_value;
+      choice[c][b] = best_x;
+    }
+  }
+
+  BestResponse response;
+  response.utility = value[0][budget];
+  response.strategy.resize(channels, 0);
+  std::size_t remaining = budget;
+  for (ChannelId c = 0; c < channels; ++c) {
+    const std::size_t x = choice[c][remaining];
+    response.strategy[c] = static_cast<RadioCount>(x);
+    remaining -= x;
+  }
+  return response;
+}
+
+}  // namespace detail
+}  // namespace mrca

@@ -1,133 +1,25 @@
 #include "core/ext/energy.h"
 
 #include <stdexcept>
-
-#include "core/analysis/deviation.h"
+#include <utility>
 
 namespace mrca {
 
+// A negative cost is rejected by the GameModel constructor
+// (std::invalid_argument), so no extra check is needed here.
 EnergyAwareGame::EnergyAwareGame(Game base, double radio_cost)
-    : base_(std::move(base)), cost_(radio_cost) {
-  if (radio_cost < 0.0) {
-    throw std::invalid_argument("EnergyAwareGame: cost must be >= 0");
-  }
-}
-
-double EnergyAwareGame::utility(const StrategyMatrix& strategies,
-                                UserId user) const {
-  return base_.utility(strategies, user) -
-         cost_ * static_cast<double>(strategies.user_total(user));
-}
-
-std::vector<double> EnergyAwareGame::utilities(
-    const StrategyMatrix& strategies) const {
-  std::vector<double> result(strategies.num_users());
-  for (UserId i = 0; i < strategies.num_users(); ++i) {
-    result[i] = utility(strategies, i);
-  }
-  return result;
-}
-
-double EnergyAwareGame::welfare(const StrategyMatrix& strategies) const {
-  return base_.welfare(strategies) -
-         cost_ * static_cast<double>(strategies.total_deployed());
-}
-
-BestResponse EnergyAwareGame::best_response(const StrategyMatrix& strategies,
-                                            UserId user) const {
-  base_.check_compatible(strategies);
-  const RateFunction& rate_fn = base_.rate_function();
-  const std::size_t channels = strategies.num_channels();
-  const auto budget =
-      static_cast<std::size_t>(base_.config().radios_per_user);
-
-  std::vector<RadioCount> opponent_load(channels);
-  for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
-  }
-
-  // Per-channel gain minus the energy price of the radios placed there.
-  std::vector<std::vector<double>> gain(channels,
-                                        std::vector<double>(budget + 1, 0.0));
-  for (ChannelId c = 0; c < channels; ++c) {
-    for (std::size_t x = 1; x <= budget; ++x) {
-      const RadioCount load = opponent_load[c] + static_cast<RadioCount>(x);
-      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                       rate_fn.rate(load) -
-                   cost_ * static_cast<double>(x);
-    }
-  }
-
-  std::vector<std::vector<double>> value(channels + 1,
-                                         std::vector<double>(budget + 1, 0.0));
-  std::vector<std::vector<std::size_t>> choice(
-      channels, std::vector<std::size_t>(budget + 1, 0));
-  for (ChannelId c = channels; c-- > 0;) {
-    for (std::size_t b = 0; b <= budget; ++b) {
-      double best_value = -1e300;
-      std::size_t best_x = 0;
-      for (std::size_t x = 0; x <= b; ++x) {
-        const double candidate = gain[c][x] + value[c + 1][b - x];
-        if (candidate > best_value) {
-          best_value = candidate;
-          best_x = x;
-        }
-      }
-      value[c][b] = best_value;
-      choice[c][b] = best_x;
-    }
-  }
-
-  BestResponse response;
-  response.utility = value[0][budget];
-  response.strategy.resize(channels, 0);
-  std::size_t remaining = budget;
-  for (ChannelId c = 0; c < channels; ++c) {
-    const std::size_t x = choice[c][remaining];
-    response.strategy[c] = static_cast<RadioCount>(x);
-    remaining -= x;
-  }
-  return response;
-}
-
-bool EnergyAwareGame::is_nash_equilibrium(const StrategyMatrix& strategies,
-                                          double tolerance) const {
-  for (UserId user = 0; user < strategies.num_users(); ++user) {
-    const double current = utility(strategies, user);
-    if (best_response(strategies, user).utility > current + tolerance) {
-      return false;
-    }
-  }
-  return true;
-}
+    : base_(std::move(base)),
+      model_(base_.config(), base_.rate_function_ptr(), radio_cost) {}
 
 EnergyAwareGame::Outcome EnergyAwareGame::run_best_response_dynamics(
     const StrategyMatrix& start, std::size_t max_activations,
     double tolerance) const {
-  base_.check_compatible(start);
-  Outcome outcome{false, 0, start};
-  StrategyMatrix& state = outcome.final_state;
-  const std::size_t users = base_.config().num_users;
-  std::size_t quiet = 0;
-  UserId next = 0;
-  for (std::size_t step = 0; step < max_activations; ++step) {
-    const UserId user = next;
-    next = (next + 1) % users;
-    const double current = utility(state, user);
-    BestResponse response = best_response(state, user);
-    if (response.utility > current + tolerance) {
-      state.set_row(user, response.strategy);
-      ++outcome.improving_steps;
-      quiet = 0;
-    } else {
-      ++quiet;
-      if (quiet >= users) {
-        outcome.converged = true;
-        break;
-      }
-    }
-  }
-  return outcome;
+  DynamicsOptions options;
+  options.granularity = ResponseGranularity::kBestResponse;
+  options.order = ActivationOrder::kRoundRobin;
+  options.max_activations = max_activations;
+  options.tolerance = tolerance;
+  return run_response_dynamics(model_, start, options);
 }
 
 RadioCount EnergyAwareGame::equilibrium_deployment() const {

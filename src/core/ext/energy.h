@@ -14,12 +14,17 @@
 //   - load balancing survives among the radios that ARE deployed.
 // `bench_energy_ablation` sweeps the cost; the tests pin the knee exactly
 // on small instances.
+//
+// The class is a thin view over the unified GameModel (shared rate table,
+// uniform budgets, positive radio cost); the DP best response and the
+// response dynamics run through the shared cache-accelerated machinery.
 #pragma once
 
 #include <vector>
 
-#include "core/analysis/deviation.h"
+#include "core/alloc/best_response.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -32,27 +37,42 @@ class EnergyAwareGame {
   EnergyAwareGame(Game base, double radio_cost);
 
   const Game& base() const noexcept { return base_; }
-  double radio_cost() const noexcept { return cost_; }
+  double radio_cost() const noexcept { return model_.radio_cost(); }
+
+  /// The unified model this game is a view of.
+  const GameModel& model() const noexcept { return model_; }
 
   /// Rate minus energy: U_i(S) - cost * k_i.
-  double utility(const StrategyMatrix& strategies, UserId user) const;
-  std::vector<double> utilities(const StrategyMatrix& strategies) const;
-  double welfare(const StrategyMatrix& strategies) const;
+  double utility(const StrategyMatrix& strategies, UserId user) const {
+    return model_.utility(strategies, user);
+  }
+  std::vector<double> utilities(const StrategyMatrix& strategies) const {
+    return model_.utilities(strategies);
+  }
+  double welfare(const StrategyMatrix& strategies) const {
+    return model_.welfare(strategies);
+  }
+
+  /// System optimum: single-occupancy channels that cover their own energy
+  /// price; min(|C|, N*k) * max(R(1) - cost, 0).
+  double optimal_welfare() const { return model_.optimal_welfare(); }
 
   /// Exact best response (budgeted DP with the per-radio penalty folded
   /// into each channel's gain — the objective stays separable).
   BestResponse best_response(const StrategyMatrix& strategies,
-                             UserId user) const;
+                             UserId user) const {
+    return model_.best_response(strategies, user);
+  }
 
   bool is_nash_equilibrium(const StrategyMatrix& strategies,
-                           double tolerance = kUtilityTolerance) const;
+                           double tolerance = kUtilityTolerance) const {
+    return model_.is_nash_equilibrium(strategies, tolerance);
+  }
 
-  /// Round-robin best-response dynamics from `start`.
-  struct Outcome {
-    bool converged = false;
-    std::size_t improving_steps = 0;
-    StrategyMatrix final_state;
-  };
+  /// Round-robin best-response dynamics from `start` via the shared
+  /// driver. Outcome is the shared dynamics result type (alias kept for
+  /// pre-unification tests).
+  using Outcome = DynamicsResult;
   Outcome run_best_response_dynamics(const StrategyMatrix& start,
                                      std::size_t max_activations = 100000,
                                      double tolerance = kUtilityTolerance) const;
@@ -63,7 +83,7 @@ class EnergyAwareGame {
 
  private:
   Game base_;
-  double cost_;
+  GameModel model_;
 };
 
 }  // namespace mrca

@@ -1,166 +1,49 @@
 #include "core/ext/heterogeneous.h"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace mrca {
+namespace {
 
-HeterogeneousGame::HeterogeneousGame(
-    GameConfig config, std::vector<std::shared_ptr<const RateFunction>> rates)
-    : config_(config), rates_(std::move(rates)) {
-  if (rates_.size() != config_.num_channels) {
+std::vector<std::shared_ptr<const RateFunction>> checked_rates(
+    const GameConfig& config,
+    std::vector<std::shared_ptr<const RateFunction>> rates) {
+  // The model accepts a single shared function too; this game's contract
+  // is explicitly one-per-channel, so enforce that before delegating.
+  if (rates.size() != config.num_channels) {
     throw std::invalid_argument(
         "HeterogeneousGame: need one rate function per channel");
   }
-  for (const auto& rate : rates_) {
-    if (!rate) {
-      throw std::invalid_argument("HeterogeneousGame: null rate function");
-    }
-    rate->validate_non_increasing(config_.total_radios());
-  }
+  return rates;
 }
 
-const RateFunction& HeterogeneousGame::rate_function(ChannelId channel) const {
-  if (channel >= rates_.size()) {
-    throw std::out_of_range("HeterogeneousGame: channel out of range");
-  }
-  return *rates_[channel];
-}
+}  // namespace
 
-void HeterogeneousGame::check_compatible(
-    const StrategyMatrix& strategies) const {
-  if (!(strategies.config() == config_)) {
-    throw std::invalid_argument(
-        "HeterogeneousGame: strategy matrix belongs to a different game");
-  }
-}
-
-double HeterogeneousGame::utility(const StrategyMatrix& strategies,
-                                  UserId user) const {
-  check_compatible(strategies);
-  double total = 0.0;
-  const auto row = strategies.row(user);
-  const auto loads = strategies.channel_loads();
-  for (ChannelId c = 0; c < config_.num_channels; ++c) {
-    if (row[c] == 0) continue;
-    total += static_cast<double>(row[c]) / static_cast<double>(loads[c]) *
-             rates_[c]->rate(loads[c]);
-  }
-  return total;
-}
-
-std::vector<double> HeterogeneousGame::utilities(
-    const StrategyMatrix& strategies) const {
-  std::vector<double> result(config_.num_users);
-  for (UserId i = 0; i < config_.num_users; ++i) {
-    result[i] = utility(strategies, i);
-  }
-  return result;
-}
-
-double HeterogeneousGame::welfare(const StrategyMatrix& strategies) const {
-  check_compatible(strategies);
-  double total = 0.0;
-  const auto loads = strategies.channel_loads();
-  for (ChannelId c = 0; c < config_.num_channels; ++c) {
-    if (loads[c] > 0) total += rates_[c]->rate(loads[c]);
-  }
-  return total;
-}
-
-double HeterogeneousGame::optimal_welfare() const {
-  std::vector<double> singles;
-  singles.reserve(config_.num_channels);
-  for (const auto& rate : rates_) singles.push_back(rate->rate(1));
-  std::sort(singles.begin(), singles.end(), std::greater<>());
-  const auto occupiable = std::min<std::size_t>(
-      config_.num_channels, static_cast<std::size_t>(config_.total_radios()));
-  double total = 0.0;
-  for (std::size_t c = 0; c < occupiable; ++c) total += singles[c];
-  return total;
-}
-
-BestResponseHet HeterogeneousGame::best_response(
-    const StrategyMatrix& strategies, UserId user) const {
-  check_compatible(strategies);
-  const std::size_t channels = config_.num_channels;
-  const auto budget = static_cast<std::size_t>(config_.radios_per_user);
-
-  std::vector<RadioCount> opponent_load(channels);
-  for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
-  }
-
-  std::vector<std::vector<double>> gain(channels,
-                                        std::vector<double>(budget + 1, 0.0));
-  for (ChannelId c = 0; c < channels; ++c) {
-    for (std::size_t x = 1; x <= budget; ++x) {
-      const RadioCount load = opponent_load[c] + static_cast<RadioCount>(x);
-      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                   rates_[c]->rate(load);
-    }
-  }
-
-  std::vector<std::vector<double>> value(channels + 1,
-                                         std::vector<double>(budget + 1, 0.0));
-  std::vector<std::vector<std::size_t>> choice(
-      channels, std::vector<std::size_t>(budget + 1, 0));
-  for (ChannelId c = channels; c-- > 0;) {
-    for (std::size_t b = 0; b <= budget; ++b) {
-      double best_value = -1.0;
-      std::size_t best_x = 0;
-      for (std::size_t x = 0; x <= b; ++x) {
-        const double candidate = gain[c][x] + value[c + 1][b - x];
-        if (candidate > best_value) {
-          best_value = candidate;
-          best_x = x;
-        }
-      }
-      value[c][b] = best_value;
-      choice[c][b] = best_x;
-    }
-  }
-
-  BestResponseHet response;
-  response.utility = value[0][budget];
-  response.strategy.resize(channels, 0);
-  std::size_t remaining = budget;
-  for (ChannelId c = 0; c < channels; ++c) {
-    const std::size_t x = choice[c][remaining];
-    response.strategy[c] = static_cast<RadioCount>(x);
-    remaining -= x;
-  }
-  return response;
-}
-
-bool HeterogeneousGame::is_nash_equilibrium(const StrategyMatrix& strategies,
-                                            double tolerance) const {
-  for (UserId user = 0; user < config_.num_users; ++user) {
-    const double current = utility(strategies, user);
-    if (best_response(strategies, user).utility > current + tolerance) {
-      return false;
-    }
-  }
-  return true;
-}
+HeterogeneousGame::HeterogeneousGame(
+    GameConfig config, std::vector<std::shared_ptr<const RateFunction>> rates)
+    : model_(config.num_channels,
+             std::vector<RadioCount>(config.num_users, config.radios_per_user),
+             checked_rates(config, std::move(rates))) {}
 
 StrategyMatrix HeterogeneousGame::greedy_allocation() const {
-  StrategyMatrix strategies(config_);
-  for (UserId user = 0; user < config_.num_users; ++user) {
-    for (RadioCount j = 0; j < config_.radios_per_user; ++j) {
+  const GameConfig& config = model_.config();
+  StrategyMatrix strategies(config);
+  for (UserId user = 0; user < config.num_users; ++user) {
+    for (RadioCount j = 0; j < config.radios_per_user; ++j) {
       // Place the radio where its marginal per-radio rate is largest.
       ChannelId best_channel = 0;
       double best_marginal = -1.0;
-      for (ChannelId c = 0; c < config_.num_channels; ++c) {
+      for (ChannelId c = 0; c < config.num_channels; ++c) {
         const RadioCount load = strategies.channel_load(c) + 1;
         const RadioCount own = strategies.at(user, c) + 1;
         const double after = static_cast<double>(own) /
-                             static_cast<double>(load) * rates_[c]->rate(load);
+                             static_cast<double>(load) * model_.rate(c, load);
         const double before =
             strategies.at(user, c) > 0
                 ? static_cast<double>(strategies.at(user, c)) /
                       static_cast<double>(strategies.channel_load(c)) *
-                      rates_[c]->rate(strategies.channel_load(c))
+                      model_.rate(c, strategies.channel_load(c))
                 : 0.0;
         const double marginal = after - before;
         if (marginal > best_marginal) {
@@ -178,52 +61,12 @@ HeterogeneousGame::DynamicsOutcome
 HeterogeneousGame::run_best_response_dynamics(const StrategyMatrix& start,
                                               std::size_t max_activations,
                                               double tolerance) const {
-  check_compatible(start);
-  DynamicsOutcome outcome{false, 0, start};
-  StrategyMatrix& state = outcome.final_state;
-  std::size_t quiet = 0;
-  UserId next = 0;
-  for (std::size_t step = 0; step < max_activations; ++step) {
-    const UserId user = next;
-    next = (next + 1) % config_.num_users;
-    const double current = utility(state, user);
-    BestResponseHet response = best_response(state, user);
-    if (response.utility > current + tolerance) {
-      state.set_row(user, response.strategy);
-      ++outcome.improving_steps;
-      quiet = 0;
-    } else {
-      ++quiet;
-      if (quiet >= config_.num_users) {
-        outcome.converged = true;
-        break;
-      }
-    }
-  }
-  return outcome;
-}
-
-double HeterogeneousGame::per_radio_spread(
-    const StrategyMatrix& strategies) const {
-  check_compatible(strategies);
-  double lo = 0.0;
-  double hi = 0.0;
-  bool first = true;
-  const auto loads = strategies.channel_loads();
-  for (ChannelId c = 0; c < config_.num_channels; ++c) {
-    if (loads[c] == 0) continue;
-    const double per_radio =
-        rates_[c]->rate(loads[c]) / static_cast<double>(loads[c]);
-    if (first) {
-      lo = per_radio;
-      hi = per_radio;
-      first = false;
-    } else {
-      lo = std::min(lo, per_radio);
-      hi = std::max(hi, per_radio);
-    }
-  }
-  return hi - lo;
+  DynamicsOptions options;
+  options.granularity = ResponseGranularity::kBestResponse;
+  options.order = ActivationOrder::kRoundRobin;
+  options.max_activations = max_activations;
+  options.tolerance = tolerance;
+  return run_response_dynamics(model_, start, options);
 }
 
 }  // namespace mrca

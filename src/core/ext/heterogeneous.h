@@ -8,25 +8,26 @@
 // rate R_c(k_c)/k_c across occupied channels (a discrete water-filling),
 // which `per_radio_spread` quantifies and the extension tests verify.
 //
-// The exact best-response DP of the homogeneous game carries over
-// unchanged in structure (the objective stays separable per channel).
+// The class is a thin view over the unified GameModel (per-channel rate
+// tables, uniform budgets, zero cost): utilities, the exact best-response
+// DP and the response dynamics all run through the shared cache-accelerated
+// machinery in core/alloc.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "core/alloc/best_response.h"
+#include "core/game_model.h"
 #include "core/rate_function.h"
 #include "core/strategy.h"
 #include "core/types.h"
 
 namespace mrca {
 
-/// Best response result for the heterogeneous game.
-struct BestResponseHet {
-  std::vector<RadioCount> strategy;
-  double utility = 0.0;
-};
+/// Best response result for the heterogeneous game (the shared DP result;
+/// kept as an alias so pre-unification call sites compile unchanged).
+using BestResponseHet = BestResponse;
 
 class HeterogeneousGame {
  public:
@@ -34,53 +35,64 @@ class HeterogeneousGame {
   HeterogeneousGame(GameConfig config,
                     std::vector<std::shared_ptr<const RateFunction>> rates);
 
-  const GameConfig& config() const noexcept { return config_; }
-  const RateFunction& rate_function(ChannelId channel) const;
+  const GameConfig& config() const noexcept { return model_.config(); }
+  const RateFunction& rate_function(ChannelId channel) const {
+    return model_.rate_function(channel);
+  }
 
-  StrategyMatrix empty_strategy() const { return StrategyMatrix(config_); }
+  /// The unified model this game is a view of.
+  const GameModel& model() const noexcept { return model_; }
+
+  StrategyMatrix empty_strategy() const { return model_.empty_strategy(); }
 
   /// U_i(S) = sum_c (k_{i,c}/k_c) * R_c(k_c).
-  double utility(const StrategyMatrix& strategies, UserId user) const;
-  std::vector<double> utilities(const StrategyMatrix& strategies) const;
-  double welfare(const StrategyMatrix& strategies) const;
+  double utility(const StrategyMatrix& strategies, UserId user) const {
+    return model_.utility(strategies, user);
+  }
+  std::vector<double> utilities(const StrategyMatrix& strategies) const {
+    return model_.utilities(strategies);
+  }
+  double welfare(const StrategyMatrix& strategies) const {
+    return model_.welfare(strategies);
+  }
 
   /// The system optimum: one radio on each of the min(|C|, N*k) channels
   /// with the largest R_c(1).
-  double optimal_welfare() const;
+  double optimal_welfare() const { return model_.optimal_welfare(); }
 
   /// Exact best response of `user` (DP over channels x budget).
   BestResponseHet best_response(const StrategyMatrix& strategies,
-                                UserId user) const;
+                                UserId user) const {
+    return model_.best_response(strategies, user);
+  }
 
   /// True when no user can improve by more than `tolerance` with ANY
   /// unilateral strategy change.
   bool is_nash_equilibrium(const StrategyMatrix& strategies,
-                           double tolerance = kUtilityTolerance) const;
+                           double tolerance = kUtilityTolerance) const {
+    return model_.is_nash_equilibrium(strategies, tolerance);
+  }
 
   /// Greedy selfish filling (the Algorithm 1 analogue): each user in turn
   /// places each radio on the channel with the best marginal rate for it.
   StrategyMatrix greedy_allocation() const;
 
-  /// Best-response dynamics from `start`; returns the final state (which
-  /// is a verified NE iff the returned `converged` flag is true).
-  struct DynamicsOutcome {
-    bool converged = false;
-    std::size_t improving_steps = 0;
-    StrategyMatrix final_state;
-  };
+  /// Best-response dynamics from `start` via the shared driver; the result
+  /// is a verified NE iff `converged` is true. DynamicsOutcome is the
+  /// shared dynamics result type (alias kept for pre-unification tests).
+  using DynamicsOutcome = DynamicsResult;
   DynamicsOutcome run_best_response_dynamics(
       const StrategyMatrix& start, std::size_t max_activations = 100000,
       double tolerance = kUtilityTolerance) const;
 
   /// Water-filling diagnostic: (max - min) over occupied channels of the
   /// per-radio rate R_c(k_c)/k_c. Small values = equalized marginal value.
-  double per_radio_spread(const StrategyMatrix& strategies) const;
+  double per_radio_spread(const StrategyMatrix& strategies) const {
+    return model_.per_radio_spread(strategies);
+  }
 
  private:
-  void check_compatible(const StrategyMatrix& strategies) const;
-
-  GameConfig config_;
-  std::vector<std::shared_ptr<const RateFunction>> rates_;
+  GameModel model_;
 };
 
 }  // namespace mrca

@@ -1,205 +1,30 @@
 #include "core/ext/variable_radios.h"
 
-#include <algorithm>
-#include <stdexcept>
+#include <utility>
+
+#include "core/alloc/sequential.h"
 
 namespace mrca {
-namespace {
-
-GameConfig make_base_config(std::size_t num_channels,
-                            const std::vector<RadioCount>& budgets) {
-  if (budgets.empty()) {
-    throw std::invalid_argument("VariableRadioGame: need at least one user");
-  }
-  RadioCount max_budget = 0;
-  for (const RadioCount budget : budgets) {
-    if (budget < 0) {
-      throw std::invalid_argument("VariableRadioGame: negative budget");
-    }
-    if (static_cast<std::size_t>(budget) > num_channels) {
-      throw std::invalid_argument(
-          "VariableRadioGame: each budget must satisfy k_i <= |C|");
-    }
-    max_budget = std::max(max_budget, budget);
-  }
-  if (max_budget == 0) {
-    throw std::invalid_argument(
-        "VariableRadioGame: at least one user needs a radio");
-  }
-  return GameConfig(budgets.size(), num_channels, max_budget);
-}
-
-}  // namespace
 
 VariableRadioGame::VariableRadioGame(
     std::size_t num_channels, std::vector<RadioCount> radio_budgets,
     std::shared_ptr<const RateFunction> rate_function)
-    : base_config_(make_base_config(num_channels, radio_budgets)),
-      base_game_(base_config_, rate_function),
-      budgets_(std::move(radio_budgets)),
-      rate_(std::move(rate_function)) {
-  for (const RadioCount budget : budgets_) total_radios_ += budget;
-  // The base game validated R over max-budget loads; re-validate over the
-  // true total, which can exceed N * max_k's per-channel worst case only
-  // up to total_radios_.
-  rate_->validate_non_increasing(total_radios_);
-}
-
-RadioCount VariableRadioGame::budget(UserId user) const {
-  if (user >= budgets_.size()) {
-    throw std::out_of_range("VariableRadioGame: user out of range");
-  }
-  return budgets_[user];
-}
-
-void VariableRadioGame::validate(const StrategyMatrix& strategies) const {
-  base_game_.check_compatible(strategies);
-  for (UserId i = 0; i < budgets_.size(); ++i) {
-    if (strategies.user_total(i) > budgets_[i]) {
-      throw std::invalid_argument(
-          "VariableRadioGame: user " + std::to_string(i) + " deploys " +
-          std::to_string(strategies.user_total(i)) + " > budget " +
-          std::to_string(budgets_[i]));
-    }
-  }
-}
-
-double VariableRadioGame::utility(const StrategyMatrix& strategies,
-                                  UserId user) const {
-  validate(strategies);
-  return base_game_.utility(strategies, user);
-}
-
-std::vector<double> VariableRadioGame::utilities(
-    const StrategyMatrix& strategies) const {
-  validate(strategies);
-  return base_game_.utilities(strategies);
-}
-
-double VariableRadioGame::welfare(const StrategyMatrix& strategies) const {
-  validate(strategies);
-  return base_game_.welfare(strategies);
-}
-
-double VariableRadioGame::optimal_welfare() const {
-  const auto occupiable = std::min<std::size_t>(
-      base_config_.num_channels, static_cast<std::size_t>(total_radios_));
-  return static_cast<double>(occupiable) * rate_->rate(1);
-}
-
-BestResponse VariableRadioGame::best_response(const StrategyMatrix& strategies,
-                                              UserId user) const {
-  validate(strategies);
-  const std::size_t channels = base_config_.num_channels;
-  const auto budget_limit = static_cast<std::size_t>(budgets_[user]);
-
-  std::vector<RadioCount> opponent_load(channels);
-  for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
-  }
-  std::vector<std::vector<double>> gain(
-      channels, std::vector<double>(budget_limit + 1, 0.0));
-  for (ChannelId c = 0; c < channels; ++c) {
-    for (std::size_t x = 1; x <= budget_limit; ++x) {
-      const RadioCount load = opponent_load[c] + static_cast<RadioCount>(x);
-      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                   rate_->rate(load);
-    }
-  }
-  std::vector<std::vector<double>> value(
-      channels + 1, std::vector<double>(budget_limit + 1, 0.0));
-  std::vector<std::vector<std::size_t>> choice(
-      channels, std::vector<std::size_t>(budget_limit + 1, 0));
-  for (ChannelId c = channels; c-- > 0;) {
-    for (std::size_t b = 0; b <= budget_limit; ++b) {
-      double best_value = -1.0;
-      std::size_t best_x = 0;
-      for (std::size_t x = 0; x <= b; ++x) {
-        const double candidate = gain[c][x] + value[c + 1][b - x];
-        if (candidate > best_value) {
-          best_value = candidate;
-          best_x = x;
-        }
-      }
-      value[c][b] = best_value;
-      choice[c][b] = best_x;
-    }
-  }
-  BestResponse response;
-  response.utility = value[0][budget_limit];
-  response.strategy.resize(channels, 0);
-  std::size_t remaining = budget_limit;
-  for (ChannelId c = 0; c < channels; ++c) {
-    const std::size_t x = choice[c][remaining];
-    response.strategy[c] = static_cast<RadioCount>(x);
-    remaining -= x;
-  }
-  return response;
-}
-
-bool VariableRadioGame::is_nash_equilibrium(const StrategyMatrix& strategies,
-                                            double tolerance) const {
-  validate(strategies);
-  for (UserId user = 0; user < budgets_.size(); ++user) {
-    const double current = base_game_.utility(strategies, user);
-    if (best_response(strategies, user).utility > current + tolerance) {
-      return false;
-    }
-  }
-  return true;
-}
+    : model_(num_channels, std::move(radio_budgets),
+             {std::move(rate_function)}) {}
 
 StrategyMatrix VariableRadioGame::sequential_allocation() const {
-  StrategyMatrix strategies = empty_strategy();
-  for (UserId user = 0; user < budgets_.size(); ++user) {
-    for (RadioCount j = 0; j < budgets_[user]; ++j) {
-      // Algorithm 1 placement rule, generalized: least-loaded channel,
-      // preferring channels the user does not occupy yet.
-      const RadioCount min_load = strategies.min_load();
-      ChannelId chosen = base_config_.num_channels;  // sentinel
-      ChannelId fallback = base_config_.num_channels;
-      for (ChannelId c = 0; c < base_config_.num_channels; ++c) {
-        if (strategies.channel_load(c) != min_load) continue;
-        if (fallback == base_config_.num_channels) fallback = c;
-        if (strategies.at(user, c) == 0) {
-          chosen = c;
-          break;
-        }
-      }
-      strategies.add_radio(user,
-                           chosen != base_config_.num_channels ? chosen
-                                                               : fallback);
-    }
-  }
-  return strategies;
+  return mrca::sequential_allocation(model_);
 }
 
 VariableRadioGame::Outcome VariableRadioGame::run_best_response_dynamics(
     const StrategyMatrix& start, std::size_t max_activations,
     double tolerance) const {
-  validate(start);
-  Outcome outcome{false, 0, start};
-  StrategyMatrix& state = outcome.final_state;
-  std::size_t quiet = 0;
-  UserId next = 0;
-  for (std::size_t step = 0; step < max_activations; ++step) {
-    const UserId user = next;
-    next = (next + 1) % budgets_.size();
-    const double current = base_game_.utility(state, user);
-    BestResponse response = best_response(state, user);
-    if (response.utility > current + tolerance) {
-      state.set_row(user, response.strategy);
-      ++outcome.improving_steps;
-      quiet = 0;
-    } else {
-      ++quiet;
-      if (quiet >= budgets_.size()) {
-        outcome.converged = true;
-        break;
-      }
-    }
-  }
-  return outcome;
+  DynamicsOptions options;
+  options.granularity = ResponseGranularity::kBestResponse;
+  options.order = ActivationOrder::kRoundRobin;
+  options.max_activations = max_activations;
+  options.tolerance = tolerance;
+  return run_response_dynamics(model_, start, options);
 }
 
 }  // namespace mrca

@@ -7,13 +7,17 @@
 // radio of each other and its output remains a Nash equilibrium for every
 // non-increasing rate function, while per-user utilities now scale with
 // the radio budgets (more radios, more spectrum share).
+//
+// The class is a thin view over the unified GameModel (shared rate table,
+// per-user budgets, zero cost); the budget-aware DP best response and the
+// response dynamics run through the shared cache-accelerated machinery.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "core/analysis/deviation.h"
-#include "core/game.h"
+#include "core/alloc/best_response.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -25,57 +29,64 @@ class VariableRadioGame {
                     std::vector<RadioCount> radio_budgets,
                     std::shared_ptr<const RateFunction> rate_function);
 
-  std::size_t num_users() const noexcept { return budgets_.size(); }
-  std::size_t num_channels() const noexcept {
-    return base_config_.num_channels;
+  std::size_t num_users() const noexcept { return model_.num_users(); }
+  std::size_t num_channels() const noexcept { return model_.num_channels(); }
+  RadioCount budget(UserId user) const { return model_.budget(user); }
+  RadioCount total_radios() const noexcept { return model_.total_radios(); }
+  const RateFunction& rate_function() const noexcept {
+    return model_.rate_function(0);
   }
-  RadioCount budget(UserId user) const;
-  RadioCount total_radios() const noexcept { return total_radios_; }
-  const RateFunction& rate_function() const noexcept { return *rate_; }
+
+  /// The unified model this game is a view of.
+  const GameModel& model() const noexcept { return model_; }
 
   /// All-zero allocation. The matrix is sized with the LARGEST budget as
   /// its per-user cap; `validate` additionally enforces each user's own
   /// budget, and every mutation path in this class preserves it.
-  StrategyMatrix empty_strategy() const {
-    return StrategyMatrix(base_config_);
-  }
+  StrategyMatrix empty_strategy() const { return model_.empty_strategy(); }
 
   /// Throws if any user's deployed radios exceed their budget.
-  void validate(const StrategyMatrix& strategies) const;
+  void validate(const StrategyMatrix& strategies) const {
+    model_.validate(strategies);
+  }
 
-  double utility(const StrategyMatrix& strategies, UserId user) const;
-  std::vector<double> utilities(const StrategyMatrix& strategies) const;
-  double welfare(const StrategyMatrix& strategies) const;
+  double utility(const StrategyMatrix& strategies, UserId user) const {
+    return model_.utility(strategies, user);
+  }
+  std::vector<double> utilities(const StrategyMatrix& strategies) const {
+    return model_.utilities(strategies);
+  }
+  double welfare(const StrategyMatrix& strategies) const {
+    return model_.welfare(strategies);
+  }
   /// min(|C|, sum_i k_i) * R(1), as in the uniform game.
-  double optimal_welfare() const;
+  double optimal_welfare() const { return model_.optimal_welfare(); }
 
   /// Exact best response under user i's own budget (DP oracle).
   BestResponse best_response(const StrategyMatrix& strategies,
-                             UserId user) const;
+                             UserId user) const {
+    return model_.best_response(strategies, user);
+  }
 
   bool is_nash_equilibrium(const StrategyMatrix& strategies,
-                           double tolerance = kUtilityTolerance) const;
+                           double tolerance = kUtilityTolerance) const {
+    return model_.is_nash_equilibrium(strategies, tolerance);
+  }
 
   /// Algorithm 1 generalized: users allocate in order, each radio onto a
   /// least-loaded channel (preferring channels the user does not occupy).
   StrategyMatrix sequential_allocation() const;
 
-  /// Round-robin best-response dynamics.
-  struct Outcome {
-    bool converged = false;
-    std::size_t improving_steps = 0;
-    StrategyMatrix final_state;
-  };
+  /// Round-robin best-response dynamics via the shared driver. Outcome is
+  /// the shared dynamics result type (alias kept for pre-unification
+  /// tests).
+  using Outcome = DynamicsResult;
   Outcome run_best_response_dynamics(const StrategyMatrix& start,
                                      std::size_t max_activations = 100000,
                                      double tolerance = kUtilityTolerance) const;
 
  private:
-  GameConfig base_config_;  ///< cap = max budget; per-user checks on top
-  Game base_game_;          ///< shares utility machinery with the core game
-  std::vector<RadioCount> budgets_;
-  RadioCount total_radios_ = 0;
-  std::shared_ptr<const RateFunction> rate_;
+  GameModel model_;
 };
 
 }  // namespace mrca

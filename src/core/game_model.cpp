@@ -1,0 +1,264 @@
+#include "core/game_model.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.h"
+#include "core/analysis/deviation_detail.h"
+
+namespace mrca {
+namespace {
+
+/// Adapter feeding the model's memoized per-channel tables into the shared
+/// deviation/DP implementation (deviation_detail.h).
+struct ModelRate {
+  const GameModel* model;
+  double operator()(ChannelId channel, RadioCount load) const {
+    return model->rate(channel, load);
+  }
+};
+
+GameConfig config_from_budgets(std::size_t num_channels,
+                               const std::vector<RadioCount>& budgets) {
+  if (budgets.empty()) {
+    throw std::invalid_argument("GameModel: need at least one user");
+  }
+  RadioCount max_budget = 0;
+  for (const RadioCount budget : budgets) {
+    if (budget < 0) {
+      throw std::invalid_argument("GameModel: negative radio budget");
+    }
+    if (static_cast<std::size_t>(budget) > num_channels) {
+      throw std::invalid_argument(
+          "GameModel: each budget must satisfy k_i <= |C|");
+    }
+    max_budget = std::max(max_budget, budget);
+  }
+  if (max_budget == 0) {
+    throw std::invalid_argument(
+        "GameModel: at least one user needs a radio");
+  }
+  return GameConfig(budgets.size(), num_channels, max_budget);
+}
+
+}  // namespace
+
+GameModel::GameModel(const Game& game)
+    : GameModel(game.config(), game.rate_function_ptr(), 0.0) {}
+
+GameModel::GameModel(GameConfig config,
+                     std::shared_ptr<const RateFunction> rate,
+                     double radio_cost)
+    : GameModel(config.num_channels,
+                std::vector<RadioCount>(config.num_users,
+                                        config.radios_per_user),
+                {std::move(rate)}, radio_cost) {}
+
+GameModel::GameModel(std::size_t num_channels,
+                     std::vector<RadioCount> radio_budgets,
+                     std::vector<std::shared_ptr<const RateFunction>> rates,
+                     double radio_cost)
+    : config_(config_from_budgets(num_channels, radio_budgets)),
+      budgets_(std::move(radio_budgets)),
+      cost_(radio_cost) {
+  if (rates.size() != 1 && rates.size() != num_channels) {
+    throw std::invalid_argument(
+        "GameModel: need one shared rate function or one per channel");
+  }
+  if (cost_ < 0.0) {
+    throw std::invalid_argument("GameModel: cost must be >= 0");
+  }
+  for (const RadioCount budget : budgets_) total_radios_ += budget;
+  uniform_budgets_ = std::all_of(
+      budgets_.begin(), budgets_.end(),
+      [&](RadioCount budget) { return budget == budgets_.front(); });
+  rates_ = std::move(rates);
+  tables_.reserve(rates_.size());
+  for (const auto& rate : rates_) {
+    if (!rate) {
+      throw std::invalid_argument("GameModel: null rate function");
+    }
+    rate->validate_non_increasing(total_radios_);
+    tables_.emplace_back(*rate, total_radios_);
+  }
+}
+
+void GameModel::check_user(UserId user) const {
+  if (user >= budgets_.size()) {
+    throw std::out_of_range("GameModel: user out of range");
+  }
+}
+
+RadioCount GameModel::budget(UserId user) const {
+  check_user(user);
+  return budgets_[user];
+}
+
+const RateFunction& GameModel::rate_function(ChannelId channel) const {
+  if (channel >= config_.num_channels) {
+    throw std::out_of_range("GameModel: channel out of range");
+  }
+  return *rates_[table_index(channel)];
+}
+
+void GameModel::check_matrix(const StrategyMatrix& strategies) const {
+  if (!(strategies.config() == config_)) {
+    throw std::invalid_argument(
+        "GameModel: strategy matrix belongs to a different game");
+  }
+}
+
+void GameModel::check_user_budget(const StrategyMatrix& strategies,
+                                  UserId user) const {
+  if (strategies.user_total(user) > budgets_[user]) {
+    throw std::invalid_argument(
+        "GameModel: user " + std::to_string(user) + " deploys " +
+        std::to_string(strategies.user_total(user)) + " > budget " +
+        std::to_string(budgets_[user]));
+  }
+}
+
+void GameModel::validate(const StrategyMatrix& strategies) const {
+  check_matrix(strategies);
+  for (UserId i = 0; i < budgets_.size(); ++i) {
+    check_user_budget(strategies, i);
+  }
+}
+
+double GameModel::utility_unchecked(const StrategyMatrix& strategies,
+                                    UserId user) const {
+  double total = 0.0;
+  const auto row = strategies.row(user);
+  const auto loads = strategies.channel_loads();
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (row[c] == 0) continue;
+    total += static_cast<double>(row[c]) / static_cast<double>(loads[c]) *
+             rate(c, loads[c]);
+  }
+  return total - cost_ * static_cast<double>(strategies.user_total(user));
+}
+
+double GameModel::utility(const StrategyMatrix& strategies,
+                          UserId user) const {
+  check_matrix(strategies);
+  check_user(user);
+  check_user_budget(strategies, user);
+  return utility_unchecked(strategies, user);
+}
+
+std::vector<double> GameModel::utilities(
+    const StrategyMatrix& strategies) const {
+  validate(strategies);
+  std::vector<double> result(config_.num_users);
+  for (UserId i = 0; i < config_.num_users; ++i) {
+    result[i] = utility_unchecked(strategies, i);
+  }
+  return result;
+}
+
+double GameModel::welfare(const StrategyMatrix& strategies) const {
+  validate(strategies);
+  double total = 0.0;
+  const auto loads = strategies.channel_loads();
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (loads[c] > 0) total += rate(c, loads[c]);
+  }
+  return total - cost_ * static_cast<double>(strategies.total_deployed());
+}
+
+double GameModel::optimal_welfare() const {
+  // One radio per occupied channel is always optimal for non-increasing
+  // R_c: extra radios on a channel never raise its total rate but always
+  // pay the energy price. So the optimum picks the best single-occupancy
+  // channels, skipping any that cannot cover their own cost.
+  std::vector<double> singles;
+  singles.reserve(config_.num_channels);
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    singles.push_back(rate(c, 1));
+  }
+  std::sort(singles.begin(), singles.end(), std::greater<>());
+  const auto occupiable = std::min<std::size_t>(
+      config_.num_channels, static_cast<std::size_t>(total_radios_));
+  double total = 0.0;
+  for (std::size_t c = 0; c < occupiable; ++c) {
+    total += std::max(singles[c] - cost_, 0.0);
+  }
+  return total;
+}
+
+BestResponse GameModel::best_response(const StrategyMatrix& strategies,
+                                      UserId user) const {
+  check_matrix(strategies);
+  check_user(user);
+  return detail::best_response(strategies, user,
+                               static_cast<std::size_t>(budgets_[user]),
+                               ModelRate{this}, cost_);
+}
+
+std::optional<SingleChange> GameModel::best_single_change(
+    const StrategyMatrix& strategies, UserId user, double tolerance) const {
+  check_matrix(strategies);
+  check_user(user);
+  return detail::best_single_change(
+      strategies, user, tolerance, ModelRate{this}, cost_,
+      strategies.user_total(user) < budgets_[user]);
+}
+
+std::vector<SingleChange> GameModel::improving_changes_for_user(
+    const StrategyMatrix& strategies, UserId user, double tolerance) const {
+  check_matrix(strategies);
+  check_user(user);
+  return detail::improving_changes(
+      strategies, user, tolerance, ModelRate{this}, cost_,
+      strategies.user_total(user) < budgets_[user]);
+}
+
+bool GameModel::is_nash_equilibrium(const StrategyMatrix& strategies,
+                                    double tolerance) const {
+  validate(strategies);
+  for (UserId user = 0; user < config_.num_users; ++user) {
+    const double current = utility(strategies, user);
+    if (best_response(strategies, user).utility > current + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double GameModel::per_radio_spread(const StrategyMatrix& strategies) const {
+  validate(strategies);
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  const auto loads = strategies.channel_loads();
+  for (ChannelId c = 0; c < config_.num_channels; ++c) {
+    if (loads[c] == 0) continue;
+    const double value =
+        rate(c, loads[c]) / static_cast<double>(loads[c]);
+    if (first) {
+      lo = value;
+      hi = value;
+      first = false;
+    } else {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  return hi - lo;
+}
+
+double GameModel::budget_fairness(const StrategyMatrix& strategies) const {
+  validate(strategies);
+  std::vector<double> normalized;
+  normalized.reserve(config_.num_users);
+  for (UserId i = 0; i < config_.num_users; ++i) {
+    if (budgets_[i] == 0) continue;
+    normalized.push_back(utility_unchecked(strategies, i) /
+                         static_cast<double>(budgets_[i]));
+  }
+  return jain_fairness(normalized);
+}
+
+}  // namespace mrca

@@ -1,0 +1,147 @@
+// The unified game model behind every scenario the library studies.
+//
+// The paper's base game and its §2 relaxations differ along exactly three
+// axes, all of which compose:
+//   - per-channel rate functions R_c(k)   (heterogeneous bands),
+//   - per-user radio budgets k_i          (mixed clients / routers),
+//   - a per-radio energy price            (energy-aware utilities).
+// GameModel is the closed-form product of those axes:
+//
+//   U_i(S) = sum_c (k_{i,c} / k_c) * R_c(k_c)  -  cost * k_i,
+//
+// with k_i <= budget_i <= |C|. Setting all budgets equal, all R_c equal and
+// cost = 0 recovers the paper's game bit-for-bit (rates are tabulated via
+// RateTable, whose lookups are bit-identical to the live RateFunction).
+//
+// Everything the response-dynamics hot path needs lives here once: exact
+// DP best response, single-radio deviation scans, welfare and the system
+// optimum — so `Game`, `HeterogeneousGame`, `VariableRadioGame` and
+// `EnergyAwareGame` are thin views over one engine instead of four silos,
+// and a new scenario is a constructor call, not a class.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/analysis/deviation.h"
+#include "core/game.h"
+#include "core/rate_table.h"
+#include "core/strategy.h"
+#include "core/types.h"
+
+namespace mrca {
+
+class GameModel {
+ public:
+  /// The paper's homogeneous game: uniform budgets, one rate, no cost.
+  /// Shares the game's rate function (cheap; tabulation is the only work).
+  explicit GameModel(const Game& game);
+
+  /// Uniform budgets and a single shared rate function, with an optional
+  /// energy price per deployed radio (the EnergyAwareGame axis).
+  GameModel(GameConfig config, std::shared_ptr<const RateFunction> rate,
+            double radio_cost = 0.0);
+
+  /// Fully general model. `rates` holds either ONE function (shared by all
+  /// channels) or one per channel; `radio_budgets[i]` is user i's radio
+  /// count, each in [0, num_channels] with at least one positive.
+  GameModel(std::size_t num_channels, std::vector<RadioCount> radio_budgets,
+            std::vector<std::shared_ptr<const RateFunction>> rates,
+            double radio_cost = 0.0);
+
+  /// Shape of compatible strategy matrices; the per-user cap is the LARGEST
+  /// budget — `validate` enforces the individual budgets on top.
+  const GameConfig& config() const noexcept { return config_; }
+  std::size_t num_users() const noexcept { return config_.num_users; }
+  std::size_t num_channels() const noexcept { return config_.num_channels; }
+
+  RadioCount budget(UserId user) const;
+  /// Sum of all budgets (the table sizing bound).
+  RadioCount total_radios() const noexcept { return total_radios_; }
+  bool uniform_budgets() const noexcept { return uniform_budgets_; }
+
+  double radio_cost() const noexcept { return cost_; }
+
+  bool uniform_rates() const noexcept { return rates_.size() == 1; }
+  const RateFunction& rate_function(ChannelId channel) const;
+
+  /// R_c(load) / per-radio share, memoized — bit-identical to the live
+  /// rate function over every reachable load.
+  double rate(ChannelId channel, RadioCount load) const {
+    return tables_[table_index(channel)].rate(load);
+  }
+  double per_radio(ChannelId channel, RadioCount load) const {
+    return tables_[table_index(channel)].per_radio(load);
+  }
+
+  StrategyMatrix empty_strategy() const { return StrategyMatrix(config_); }
+
+  /// Shape check plus per-user budget enforcement (the matrix cap alone
+  /// only bounds users by the largest budget). Throws std::invalid_argument.
+  void validate(const StrategyMatrix& strategies) const;
+
+  double utility(const StrategyMatrix& strategies, UserId user) const;
+  std::vector<double> utilities(const StrategyMatrix& strategies) const;
+  /// sum_c R_c(k_c) over occupied channels minus cost * total deployed.
+  double welfare(const StrategyMatrix& strategies) const;
+
+  /// The system optimum over all budget-feasible matrices: occupy the
+  /// min(|C|, total_radios) channels with the largest R_c(1), counting each
+  /// only when R_c(1) - cost > 0 (a channel that cannot pay its energy
+  /// price is better left idle).
+  double optimal_welfare() const;
+
+  /// Exact best response of `user` under their own budget: DP over
+  /// channels x budget with the energy price folded into each channel's
+  /// gain. An oracle — no concavity assumption.
+  BestResponse best_response(const StrategyMatrix& strategies,
+                             UserId user) const;
+
+  /// Best strictly-improving single-radio change (move / deploy / park)
+  /// for `user`, if any exists with benefit > tolerance.
+  std::optional<SingleChange> best_single_change(
+      const StrategyMatrix& strategies, UserId user,
+      double tolerance = kUtilityTolerance) const;
+
+  /// All strictly-improving single-radio changes of ONE user.
+  std::vector<SingleChange> improving_changes_for_user(
+      const StrategyMatrix& strategies, UserId user,
+      double tolerance = kUtilityTolerance) const;
+
+  /// True when no user can improve by more than `tolerance` with ANY
+  /// unilateral deviation (multi-radio included, via the DP oracle).
+  bool is_nash_equilibrium(const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance) const;
+
+  /// Water-filling diagnostic: (max - min) over occupied channels of the
+  /// per-radio rate R_c(k_c)/k_c. Zero at a perfectly equalized allocation.
+  double per_radio_spread(const StrategyMatrix& strategies) const;
+
+  /// Jain fairness over budget-normalized utilities U_i / budget_i (users
+  /// with zero budget are excluded): 1.0 when the spectrum share each user
+  /// obtains is exactly proportional to the radios they own.
+  double budget_fairness(const StrategyMatrix& strategies) const;
+
+ private:
+  std::size_t table_index(ChannelId channel) const noexcept {
+    return rates_.size() == 1 ? 0 : channel;
+  }
+  void check_user(UserId user) const;
+  /// O(1) shape check (the hot-path subset of `validate`).
+  void check_matrix(const StrategyMatrix& strategies) const;
+  /// O(1) budget check for ONE user (the per-activation subset).
+  void check_user_budget(const StrategyMatrix& strategies, UserId user) const;
+  double utility_unchecked(const StrategyMatrix& strategies,
+                           UserId user) const;
+
+  GameConfig config_;
+  std::vector<RadioCount> budgets_;
+  RadioCount total_radios_ = 0;
+  bool uniform_budgets_ = true;
+  double cost_ = 0.0;
+  std::vector<std::shared_ptr<const RateFunction>> rates_;  // size 1 or |C|
+  std::vector<RateTable> tables_;                           // parallel to rates_
+};
+
+}  // namespace mrca

@@ -107,8 +107,8 @@ std::string LinearDecayRate::name() const {
 }
 
 TabulatedRate::TabulatedRate(std::vector<double> values, std::string label,
-                             double tolerance)
-    : values_(std::move(values)), label_(std::move(label)) {
+                             double tolerance, bool strict)
+    : values_(std::move(values)), label_(std::move(label)), strict_(strict) {
   if (values_.empty()) {
     throw std::invalid_argument("TabulatedRate: table must be non-empty");
   }
@@ -135,11 +135,37 @@ TabulatedRate::TabulatedRate(std::vector<double> values, std::string label,
 double TabulatedRate::rate(int k) const {
   if (k <= 0) return 0.0;
   const auto idx = static_cast<std::size_t>(k - 1);
-  if (idx >= values_.size()) return values_.back();
+  if (idx >= values_.size()) {
+    if (strict_) {
+      throw std::out_of_range("TabulatedRate(" + label_ + "): load " +
+                              std::to_string(k) +
+                              " exceeds the tabulated maximum " +
+                              std::to_string(values_.size()));
+    }
+    return values_.back();
+  }
   return values_[idx];
 }
 
 std::string TabulatedRate::name() const { return label_; }
+
+ScaledRate::ScaledRate(std::shared_ptr<const RateFunction> base, double scale)
+    : base_(std::move(base)), scale_(scale) {
+  if (!base_) {
+    throw std::invalid_argument("ScaledRate: base rate must not be null");
+  }
+  if (!std::isfinite(scale_) || scale_ <= 0.0) {
+    throw std::invalid_argument("ScaledRate: scale must be finite and > 0");
+  }
+}
+
+double ScaledRate::rate(int k) const { return scale_ * base_->rate(k); }
+
+std::string ScaledRate::name() const {
+  std::ostringstream out;
+  out << scale_ << "x " << base_->name();
+  return out.str();
+}
 
 std::shared_ptr<const RateFunction> make_tdma_rate(double nominal_rate) {
   return std::make_shared<ConstantRate>(nominal_rate);

@@ -95,9 +95,12 @@ class LinearDecayRate final : public RateFunction {
   double slope_;
 };
 
-/// Rate given by an explicit table for k = 1..table.size(); beyond the
-/// table, the last entry is extended (the curve flattens). Used to plug the
-/// Bianchi model and DES-measured curves into the game.
+/// Rate given by an explicit table for k = 1..table.size(). Beyond the
+/// table the behavior depends on `strict`: by default the last entry is
+/// extended (the curve flattens); a strict table instead throws
+/// std::out_of_range, turning a silently-wrong rate into a loud failure
+/// when a table was sized too small for the loads a game can reach. Used
+/// to plug the Bianchi model and DES-measured curves into the game.
 class TabulatedRate final : public RateFunction {
  public:
   /// values[j] is R(j+1). Must be non-empty, non-negative, non-increasing
@@ -105,15 +108,33 @@ class TabulatedRate final : public RateFunction {
   /// monotonized (running minimum) so the RateFunction contract holds
   /// exactly afterwards.
   TabulatedRate(std::vector<double> values, std::string label,
-                double tolerance = 0.0);
+                double tolerance = 0.0, bool strict = false);
 
   double rate(int k) const override;
   std::string name() const override;
   int table_size() const noexcept { return static_cast<int>(values_.size()); }
+  bool strict() const noexcept { return strict_; }
 
  private:
   std::vector<double> values_;
   std::string label_;
+  bool strict_ = false;
+};
+
+/// A rate function scaled by a positive constant: R'(k) = scale * R(k).
+/// The building block for heterogeneous-band scenarios (e.g. one wide
+/// channel at 2x the base rate next to narrow ones at 0.5x).
+class ScaledRate final : public RateFunction {
+ public:
+  /// `scale` must be finite and > 0; the base function must be non-null.
+  ScaledRate(std::shared_ptr<const RateFunction> base, double scale);
+
+  double rate(int k) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const RateFunction> base_;
+  double scale_;
 };
 
 /// Convenience factories.

@@ -1,0 +1,218 @@
+#include "engine/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrca::engine {
+
+std::string round_trip_double(double value) {
+  std::array<char, 32> buffer;
+  const auto [end, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  return ec == std::errc{} ? std::string(buffer.data(), end)
+                           : std::string("nan");
+}
+
+namespace {
+
+double parse_finite_double(const std::string& text,
+                           const std::string& context) {
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end ||
+      !std::isfinite(value)) {
+    throw std::invalid_argument("ScenarioSpec: bad number '" + text +
+                                "' in '" + context + "'");
+  }
+  return value;
+}
+
+int parse_small_int(const std::string& text, const std::string& context) {
+  int value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end || value < 0 ||
+      value > 1024) {
+    throw std::invalid_argument("ScenarioSpec: bad radio count '" + text +
+                                "' in '" + context + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(separator, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::name() const {
+  switch (kind) {
+    case Kind::kBase:
+      return "base";
+    case Kind::kEnergy:
+      return "energy=" + round_trip_double(energy_cost);
+    case Kind::kHeterogeneous: {
+      std::string out = "het=";
+      for (std::size_t i = 0; i < rate_scales.size(); ++i) {
+        if (i) out += ':';
+        out += round_trip_double(rate_scales[i]);
+      }
+      return out;
+    }
+    case Kind::kBudgets: {
+      std::string out = "budgets=";
+      for (std::size_t i = 0; i < budget_mix.size(); ++i) {
+        if (i) out += ':';
+        out += std::to_string(budget_mix[i]);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("ScenarioSpec: unknown kind");
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  if (text == "base") return spec;
+  if (text.rfind("energy=", 0) == 0) {
+    spec.kind = Kind::kEnergy;
+    spec.energy_cost = parse_finite_double(text.substr(7), text);
+    if (spec.energy_cost < 0.0) {
+      throw std::invalid_argument("ScenarioSpec: energy cost must be >= 0 in '" +
+                                  text + "'");
+    }
+    return spec;
+  }
+  if (text.rfind("het=", 0) == 0) {
+    spec.kind = Kind::kHeterogeneous;
+    for (const std::string& part : split(text.substr(4), ':')) {
+      const double scale = parse_finite_double(part, text);
+      if (scale <= 0.0) {
+        throw std::invalid_argument(
+            "ScenarioSpec: rate scales must be > 0 in '" + text + "'");
+      }
+      spec.rate_scales.push_back(scale);
+    }
+    return spec;
+  }
+  if (text.rfind("budgets=", 0) == 0) {
+    spec.kind = Kind::kBudgets;
+    bool any_positive = false;
+    for (const std::string& part : split(text.substr(8), ':')) {
+      const int budget = parse_small_int(part, text);
+      any_positive |= budget > 0;
+      spec.budget_mix.push_back(static_cast<RadioCount>(budget));
+    }
+    if (!any_positive) {
+      throw std::invalid_argument(
+          "ScenarioSpec: at least one budget must be > 0 in '" + text + "'");
+    }
+    return spec;
+  }
+  throw std::invalid_argument("ScenarioSpec: unknown scenario '" + text +
+                              "' (expected base | energy=<c> | het=<s:..> | "
+                              "budgets=<k:..>)");
+}
+
+std::vector<ScenarioSpec> ScenarioSpec::parse_list(const std::string& text) {
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& group : split(text, ';')) {
+    if (group.empty()) {
+      throw std::invalid_argument("ScenarioSpec: empty scenario group in '" +
+                                  text + "'");
+    }
+    const std::size_t equals = group.find('=');
+    if (equals == std::string::npos) {
+      specs.push_back(parse(group));
+      continue;
+    }
+    // "energy=0.1,0.3" / "het=2:1,4:1" expand one scenario per comma item.
+    const std::string prefix = group.substr(0, equals + 1);
+    for (const std::string& item : split(group.substr(equals + 1), ',')) {
+      specs.push_back(parse(prefix + item));
+    }
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("ScenarioSpec: empty scenario list");
+  }
+  return specs;
+}
+
+std::vector<RadioCount> ScenarioSpec::budgets(std::size_t users,
+                                              std::size_t channels,
+                                              RadioCount radios) const {
+  std::vector<RadioCount> result(users, radios);
+  if (kind == Kind::kBudgets) {
+    // Guard the open-struct path too (parse() already enforces this):
+    // an empty mix would be a modulo-by-zero below, not a bad spec error.
+    if (budget_mix.empty()) {
+      throw std::invalid_argument(
+          "ScenarioSpec: budgets scenario needs a non-empty budget mix");
+    }
+    const auto cap = static_cast<RadioCount>(channels);
+    for (std::size_t i = 0; i < users; ++i) {
+      result[i] = std::min(budget_mix[i % budget_mix.size()], cap);
+    }
+  }
+  return result;
+}
+
+RadioCount ScenarioSpec::total_radios(std::size_t users, std::size_t channels,
+                                      RadioCount radios) const {
+  RadioCount total = 0;
+  for (const RadioCount budget : budgets(users, channels, radios)) {
+    total += budget;
+  }
+  return total;
+}
+
+GameModel ScenarioSpec::make_model(
+    std::size_t users, std::size_t channels, RadioCount radios,
+    std::shared_ptr<const RateFunction> base_rate) const {
+  switch (kind) {
+    case Kind::kBase:
+      return GameModel(GameConfig(users, channels, radios),
+                       std::move(base_rate));
+    case Kind::kEnergy:
+      return GameModel(GameConfig(users, channels, radios),
+                       std::move(base_rate), energy_cost);
+    case Kind::kHeterogeneous: {
+      if (rate_scales.empty()) {
+        throw std::invalid_argument(
+            "ScenarioSpec: het scenario needs a non-empty scale profile");
+      }
+      std::vector<std::shared_ptr<const RateFunction>> rates;
+      rates.reserve(channels);
+      for (ChannelId c = 0; c < channels; ++c) {
+        const double scale = rate_scales[c % rate_scales.size()];
+        rates.push_back(scale == 1.0
+                            ? base_rate
+                            : std::make_shared<ScaledRate>(base_rate, scale));
+      }
+      return GameModel(channels,
+                       std::vector<RadioCount>(users, radios),
+                       std::move(rates));
+    }
+    case Kind::kBudgets:
+      return GameModel(channels, budgets(users, channels, radios),
+                       {std::move(base_rate)});
+  }
+  throw std::logic_error("ScenarioSpec: unknown kind");
+}
+
+}  // namespace mrca::engine

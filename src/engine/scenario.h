@@ -1,0 +1,83 @@
+// ScenarioSpec: a copyable value-type description of WHICH game the sweep
+// engine plays at a grid point — the paper's base game or one of its §2
+// relaxations — so scenarios become a first-class sweep axis next to
+// (N, C, k, rate, dynamics).
+//
+//   base            the paper's homogeneous game
+//   energy=<c>      energy-priced utilities, cost c per deployed radio
+//   het=<s1:s2:..>  heterogeneous band: channel c's rate is the base rate
+//                   scaled by s_{c mod m} (profiles cycle over channels)
+//   budgets=<b1:..> per-user radio budgets b_{i mod m}, each clamped to |C|
+//                   (the grid's k axis is ignored for budget scenarios)
+//
+// A spec expands into a GameModel per cell; every future scenario is a new
+// Kind plus ~100 lines here, not a fourth game class and a fourth driver.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/game_model.h"
+#include "core/rate_function.h"
+#include "core/types.h"
+
+namespace mrca::engine {
+
+/// Shortest decimal representation that round-trips the double exactly
+/// (std::to_chars shortest form). The one formatter behind every spec
+/// name (RateSpec, ScenarioSpec), so parse(name()) stays the identity and
+/// distinct specs never collide as CSV/JSON keys.
+std::string round_trip_double(double value);
+
+struct ScenarioSpec {
+  enum class Kind { kBase, kEnergy, kHeterogeneous, kBudgets };
+
+  Kind kind = Kind::kBase;
+  /// Energy price per deployed radio (kEnergy; >= 0).
+  double energy_cost = 0.0;
+  /// Per-channel scale factors applied cyclically to the base rate
+  /// (kHeterogeneous; each finite and > 0).
+  std::vector<double> rate_scales;
+  /// Per-user radio budgets applied cyclically (kBudgets; each >= 0, at
+  /// least one positive; clamped to |C| at model-build time).
+  std::vector<RadioCount> budget_mix;
+
+  /// Canonical spec string: "base", "energy=0.2", "het=2:1", "budgets=1:4".
+  /// parse(name()) is the identity, so distinct scenarios never collide in
+  /// CSV/JSON output.
+  std::string name() const;
+
+  /// Parses one canonical spec string; throws std::invalid_argument on
+  /// malformed input.
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Parses a CLI scenario list. ';' separates groups; within a group a
+  /// comma list expands one scenario per element:
+  ///   "energy=0.1,0.3"          -> energy=0.1, energy=0.3
+  ///   "het=2:1,4:1:1"           -> het=2:1, het=4:1:1
+  ///   "base;energy=0.5"         -> base, energy=0.5
+  static std::vector<ScenarioSpec> parse_list(const std::string& text);
+
+  /// Budget scenarios pin their own radio counts, so the grid's k axis is
+  /// collapsed for them during expansion.
+  bool uses_radios_axis() const noexcept { return kind != Kind::kBudgets; }
+
+  /// The per-user budgets of a (users, channels, radios) cell.
+  std::vector<RadioCount> budgets(std::size_t users, std::size_t channels,
+                                  RadioCount radios) const;
+
+  /// Total radios of the cell (the rate-table sizing bound).
+  RadioCount total_radios(std::size_t users, std::size_t channels,
+                          RadioCount radios) const;
+
+  /// Builds the cell's GameModel around the already-constructed base rate
+  /// function (shared across replicates by the sweep's rate cache).
+  GameModel make_model(std::size_t users, std::size_t channels,
+                       RadioCount radios,
+                       std::shared_ptr<const RateFunction> base_rate) const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+}  // namespace mrca::engine

@@ -1,7 +1,6 @@
 #include "engine/sweep.h"
 
 #include <algorithm>
-#include <array>
 #include <charconv>
 #include <cmath>
 #include <map>
@@ -9,6 +8,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/alloc/random_alloc.h"
 #include "mac/bianchi.h"
 #include "core/alloc/sequential.h"
@@ -32,26 +32,30 @@ struct RunOutcome {
   double anarchy_ratio = 0.0;  // valid only when welfare > 0
   double fairness = 0.0;
   double load_imbalance = 0.0;
+  double deployed = 0.0;
+  double per_radio_spread = 0.0;
+  double budget_fairness = 0.0;
   /// One entry per DES replay (empty when the spec has no sim tier); the
   /// vector is owned by this task's slot, so workers still share nothing.
   std::vector<SimTierOutcome> sim;
 };
 
-StrategyMatrix make_start(const Game& game, SweepStart start, Rng& rng) {
+StrategyMatrix make_start(const GameModel& model, SweepStart start,
+                          Rng& rng) {
   switch (start) {
     case SweepStart::kEmpty:
-      return game.empty_strategy();
+      return model.empty_strategy();
     case SweepStart::kRandomFull:
-      return random_full_allocation(game, rng);
+      return random_full_allocation(model, rng);
     case SweepStart::kRandomPartial:
-      return random_partial_allocation(game, rng);
+      return random_partial_allocation(model, rng);
     case SweepStart::kSequentialNe: {
       // Thread the utility cache through Algorithm 1 (cheap here, but this
       // is the same path the incremental engine API exposes to users).
-      StrategyMatrix strategies = game.empty_strategy();
-      UtilityCache cache(game, strategies);
-      for (UserId user = 0; user < game.config().num_users; ++user) {
-        allocate_user_sequentially(game, strategies, user,
+      StrategyMatrix strategies = model.empty_strategy();
+      UtilityCache cache(model, strategies);
+      for (UserId user = 0; user < model.config().num_users; ++user) {
+        allocate_user_sequentially(model, strategies, user,
                                    TieBreak::kLowestIndex, &rng, &cache);
       }
       return strategies;
@@ -61,12 +65,9 @@ StrategyMatrix make_start(const Game& game, SweepStart start, Rng& rng) {
 }
 
 RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
-                   std::shared_ptr<const RateFunction> rate_function,
-                   std::size_t replicate) {
-  const GameConfig config(cell.users, cell.channels, cell.radios);
-  const Game game(config, std::move(rate_function));
+                   const GameModel& model, std::size_t replicate) {
   Rng rng(derive_run_seed(spec.base_seed, cell.index, replicate));
-  const StrategyMatrix start = make_start(game, cell.start, rng);
+  const StrategyMatrix start = make_start(model, cell.start, rng);
 
   DynamicsOptions options;
   options.granularity = cell.granularity;
@@ -74,21 +75,25 @@ RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
   options.max_activations = spec.max_activations;
   options.tolerance = spec.tolerance;
   const DynamicsResult result =
-      run_response_dynamics(game, start, options, &rng);
+      run_response_dynamics(model, start, options, &rng);
 
   RunOutcome outcome;
   outcome.converged = result.converged;
   outcome.activations = static_cast<double>(result.activations);
   outcome.improving_steps = static_cast<double>(result.improving_steps);
-  outcome.welfare = game.welfare(result.final_state);
-  const double optimal = game.optimal_welfare();
+  outcome.welfare = model.welfare(result.final_state);
+  const double optimal = model.optimal_welfare();
   outcome.efficiency = optimal > 0.0 ? outcome.welfare / optimal : 0.0;
   if (outcome.welfare > 0.0) {
     outcome.anarchy_ratio = optimal / outcome.welfare;
   }
-  outcome.fairness = utility_fairness(game, result.final_state);
+  outcome.fairness = jain_fairness(model.utilities(result.final_state));
   outcome.load_imbalance =
       static_cast<double>(load_imbalance(result.final_state));
+  outcome.deployed =
+      static_cast<double>(result.final_state.total_deployed());
+  outcome.per_radio_spread = model.per_radio_spread(result.final_state);
+  outcome.budget_fairness = model.budget_fairness(result.final_state);
 
   // Packet-level tier: replay the final allocation through the DES. Runs
   // inside this task, so the replays ride the same worker pool and the
@@ -112,25 +117,15 @@ RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
 }  // namespace
 
 std::string RateSpec::name() const {
-  // Shortest representation that round-trips the double exactly, so
-  // parse(name()) is the identity and distinct cells never collide in
-  // CSV/JSON output.
-  auto trimmed = [](double value) {
-    std::array<char, 32> buffer;
-    const auto [end, ec] =
-        std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
-    return ec == std::errc{} ? std::string(buffer.data(), end)
-                             : std::string("nan");
-  };
   switch (kind) {
     case Kind::kConstant:
       return "tdma";
     case Kind::kPowerLaw:
-      return "powerlaw=" + trimmed(param);
+      return "powerlaw=" + round_trip_double(param);
     case Kind::kGeometricDecay:
-      return "geom=" + trimmed(param);
+      return "geom=" + round_trip_double(param);
     case Kind::kLinearDecay:
-      return "linear=" + trimmed(param);
+      return "linear=" + round_trip_double(param);
     case Kind::kDcf:
       return "dcf";
     case Kind::kDcfOptimal:
@@ -153,11 +148,13 @@ std::shared_ptr<const RateFunction> RateSpec::make(int max_load) const {
     case Kind::kLinearDecay:
       return std::make_shared<LinearDecayRate>(nominal, param);
     case Kind::kDcf:
+      // Strict: a load beyond the table is a sizing bug at the call site,
+      // not a rate of values_.back() — fail loudly instead of flattening.
       return BianchiDcfModel(DcfParameters::bianchi_fhss())
-          .make_practical_rate(table);
+          .make_practical_rate(table, /*strict=*/true);
     case Kind::kDcfOptimal:
       return BianchiDcfModel(DcfParameters::bianchi_fhss())
-          .make_optimal_rate(table);
+          .make_optimal_rate(table, /*strict=*/true);
   }
   throw std::logic_error("RateSpec: unknown kind");
 }
@@ -220,7 +217,8 @@ const char* to_string(ActivationOrder order) {
 
 std::size_t SweepSpec::grid_size() const noexcept {
   return users.size() * channels.size() * radios.size() * rates.size() *
-         granularities.size() * orders.size() * starts.size();
+         scenarios.size() * granularities.size() * orders.size() *
+         starts.size();
 }
 
 std::vector<SweepSpec::Cell> SweepSpec::expand() const {
@@ -228,22 +226,43 @@ std::vector<SweepSpec::Cell> SweepSpec::expand() const {
   cells.reserve(grid_size());
   for (const std::size_t n : users) {
     for (const std::size_t c : channels) {
+      // Budget scenarios pin their own radio counts, so for them the k
+      // axis collapses: they are emitted exactly once per (N, C, rate, ...)
+      // combination — on the k loop's FIRST iteration, valid or not — with
+      // the first valid k (0 if none) recorded as the display value.
+      RadioCount first_valid_k = 0;
       for (const RadioCount k : radios) {
-        if (k < 1 || static_cast<std::size_t>(k) > c) continue;
+        if (k >= 1 && static_cast<std::size_t>(k) <= c) {
+          first_valid_k = k;
+          break;
+        }
+      }
+      for (std::size_t ki = 0; ki < radios.size(); ++ki) {
+        const RadioCount k = radios[ki];
+        const bool k_valid = k >= 1 && static_cast<std::size_t>(k) <= c;
         for (const RateSpec& rate : rates) {
-          for (const ResponseGranularity granularity : granularities) {
-            for (const ActivationOrder order : orders) {
-              for (const SweepStart start : starts) {
-                Cell cell;
-                cell.users = n;
-                cell.channels = c;
-                cell.radios = k;
-                cell.rate = rate;
-                cell.granularity = granularity;
-                cell.order = order;
-                cell.start = start;
-                cell.index = cells.size();
-                cells.push_back(cell);
+          for (const ScenarioSpec& scenario : scenarios) {
+            if (scenario.uses_radios_axis()) {
+              if (!k_valid) continue;
+            } else if (ki != 0) {
+              continue;
+            }
+            for (const ResponseGranularity granularity : granularities) {
+              for (const ActivationOrder order : orders) {
+                for (const SweepStart start : starts) {
+                  Cell cell;
+                  cell.users = n;
+                  cell.channels = c;
+                  cell.radios =
+                      scenario.uses_radios_axis() ? k : first_valid_k;
+                  cell.rate = rate;
+                  cell.scenario = scenario;
+                  cell.granularity = granularity;
+                  cell.order = order;
+                  cell.start = start;
+                  cell.index = cells.size();
+                  cells.push_back(cell);
+                }
               }
             }
           }
@@ -294,27 +313,34 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   // Rate functions are immutable, so build each distinct (spec, table size)
   // once up front and share it across every cell and replicate that needs
   // it — for the DCF kinds this collapses thousands of Bianchi fixed-point
-  // table builds into one per distinct N*k.
+  // table builds into one per distinct N*k. The per-cell GameModel (the
+  // scenario picks the game: base, energy-priced, heterogeneous band or
+  // mixed radio budgets) is likewise immutable and shared across the
+  // cell's replicates, so its rate tabulation runs once, not per task.
   std::map<std::pair<std::string, int>, std::shared_ptr<const RateFunction>>
       rate_cache;
-  std::vector<std::shared_ptr<const RateFunction>> rate_functions;
-  rate_functions.reserve(cells.size());
+  std::vector<GameModel> models;
+  models.reserve(cells.size());
   for (const SweepSpec::Cell& cell : cells) {
+    // The scenario knows the cell's true maximum load (budget scenarios
+    // replace N*k with their budget sum).
     const int max_load =
-        GameConfig(cell.users, cell.channels, cell.radios).total_radios();
+        cell.scenario.total_radios(cell.users, cell.channels, cell.radios);
     auto& cached = rate_cache[{cell.rate.name(), max_load}];
     if (!cached) cached = cell.rate.make(max_load);
-    rate_functions.push_back(cached);
+    models.push_back(cell.scenario.make_model(cell.users, cell.channels,
+                                              cell.radios, cached));
   }
 
-  // One pre-allocated slot per task; workers never touch shared state.
+  // One pre-allocated slot per task; workers never touch shared state
+  // (models are read-only from here on).
   std::vector<RunOutcome> outcomes(total_runs);
   const std::size_t workers =
       parallel_for(total_runs, options.threads, [&](std::size_t task) {
         const std::size_t cell_index = task / spec.replicates;
         const std::size_t replicate = task % spec.replicates;
-        outcomes[task] = run_one(spec, cells[cell_index],
-                                 rate_functions[cell_index], replicate);
+        outcomes[task] =
+            run_one(spec, cells[cell_index], models[cell_index], replicate);
       });
 
   // Sequential aggregation in task order: bit-identical at any thread count.
@@ -338,6 +364,9 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       }
       aggregate.fairness.add(outcome.fairness);
       aggregate.load_imbalance.add(outcome.load_imbalance);
+      aggregate.deployed.add(outcome.deployed);
+      aggregate.per_radio_spread.add(outcome.per_radio_spread);
+      aggregate.budget_fairness.add(outcome.budget_fairness);
       for (const SimTierOutcome& sim : outcome.sim) {
         ++aggregate.sim_runs;
         aggregate.sim_total_bps.add(sim.total_bps);

@@ -21,6 +21,7 @@
 #include "core/alloc/best_response.h"
 #include "core/rate_function.h"
 #include "core/types.h"
+#include "engine/scenario.h"
 #include "engine/sim_tier.h"
 
 namespace mrca::engine {
@@ -48,9 +49,11 @@ struct RateSpec {
   std::string name() const;
 
   /// Builds the rate function. `max_load` bounds the loads the game can
-  /// produce (|N|*k); the DCF kinds tabulate the Bianchi model up to it and
-  /// the closed-form kinds ignore it.
-  std::shared_ptr<const RateFunction> make(int max_load = 64) const;
+  /// produce (|N|*k, or the budget sum); the DCF kinds tabulate the Bianchi
+  /// model up to it — STRICTLY, so an undersized table throws instead of
+  /// silently flattening — and the closed-form kinds ignore it. No default:
+  /// every call site knows its game's true maximum load and must say so.
+  std::shared_ptr<const RateFunction> make(int max_load) const;
 
   /// Parses the name() format (also accepts "const" for "tdma").
   /// Throws std::invalid_argument on unknown specs. This is the single
@@ -72,13 +75,16 @@ const char* to_string(SweepStart start);
 const char* to_string(ResponseGranularity granularity);
 const char* to_string(ActivationOrder order);
 
-/// Cartesian grid over game and dynamics parameters. Combinations violating
-/// the model constraint k <= |C| are skipped during expansion.
+/// Cartesian grid over game, scenario and dynamics parameters.
+/// Combinations violating the model constraint k <= |C| are skipped during
+/// expansion, and the k axis collapses to its first valid value for budget
+/// scenarios (which pin their own radio counts).
 struct SweepSpec {
   std::vector<std::size_t> users{4};
   std::vector<std::size_t> channels{4};
   std::vector<RadioCount> radios{1};
   std::vector<RateSpec> rates{RateSpec{}};
+  std::vector<ScenarioSpec> scenarios{ScenarioSpec{}};
   std::vector<ResponseGranularity> granularities{
       ResponseGranularity::kBestResponse};
   std::vector<ActivationOrder> orders{ActivationOrder::kRoundRobin};
@@ -100,6 +106,7 @@ struct SweepSpec {
     std::size_t channels = 0;
     RadioCount radios = 0;
     RateSpec rate;
+    ScenarioSpec scenario;
     ResponseGranularity granularity = ResponseGranularity::kBestResponse;
     ActivationOrder order = ActivationOrder::kRoundRobin;
     SweepStart start = SweepStart::kRandomFull;
@@ -132,6 +139,16 @@ struct CellResult {
   RunningStats fairness;
   /// max - min channel load of the final allocation.
   RunningStats load_imbalance;
+
+  // Scenario columns (meaningful for every scenario kind; for the base
+  // game `deployed` is constant N*k and `per_radio_spread` collapses to
+  // the load-balance diagnostic).
+  /// Total radios on air at the fixed point (the energy knee's ordinate).
+  RunningStats deployed;
+  /// (max - min) per-radio rate over occupied channels (water-filling).
+  RunningStats per_radio_spread;
+  /// Jain fairness over budget-normalized utilities U_i / k_i.
+  RunningStats budget_fairness;
 
   // Packet-level tier aggregates (one sample per DES replay; all empty when
   // the spec has no sim_tier).

@@ -72,16 +72,18 @@ SweepFormat parse_sweep_format(const std::string& text) {
 
 std::string sweep_to_csv(const SweepResult& result) {
   std::ostringstream out;
-  out << "cell,users,channels,radios,rate,granularity,order,start,runs,"
-         "converged,activations_mean,activations_stddev,improving_mean,"
+  out << "cell,users,channels,radios,rate,scenario,granularity,order,start,"
+         "runs,converged,activations_mean,activations_stddev,improving_mean,"
          "welfare_mean,welfare_min,welfare_max,efficiency_mean,"
          "anarchy_ratio_mean,fairness_mean,load_imbalance_mean,"
+         "deployed_mean,per_radio_spread_mean,budget_fairness_mean,"
          "sim_runs,sim_total_bps_mean,sim_gap_mean,sim_gap_max,"
          "sim_fairness_mean,sim_imbalance_mean\n";
   for (const CellResult& cell : result.cells) {
     out << cell.cell.index << ',' << cell.cell.users << ','
         << cell.cell.channels << ',' << cell.cell.radios << ','
-        << cell.cell.rate.name() << ',' << to_string(cell.cell.granularity)
+        << cell.cell.rate.name() << ',' << cell.cell.scenario.name() << ','
+        << to_string(cell.cell.granularity)
         << ',' << to_string(cell.cell.order) << ','
         << to_string(cell.cell.start) << ',' << cell.runs << ','
         << cell.converged << ',' << full_precision(cell.activations.mean())
@@ -95,6 +97,9 @@ std::string sweep_to_csv(const SweepResult& result) {
         << full_precision(cell.anarchy_ratio.mean()) << ','
         << full_precision(cell.fairness.mean()) << ','
         << full_precision(cell.load_imbalance.mean()) << ','
+        << full_precision(cell.deployed.mean()) << ','
+        << full_precision(cell.per_radio_spread.mean()) << ','
+        << full_precision(cell.budget_fairness.mean()) << ','
         << cell.sim_runs << ','
         << full_precision(cell.sim_total_bps.mean()) << ','
         << full_precision(cell.sim_gap.mean()) << ','
@@ -116,7 +121,8 @@ std::string sweep_to_json(const SweepResult& result) {
         << ",\"users\":" << cell.cell.users
         << ",\"channels\":" << cell.cell.channels
         << ",\"radios\":" << cell.cell.radios << ",\"rate\":\""
-        << json_escape(cell.cell.rate.name()) << "\",\"granularity\":\""
+        << json_escape(cell.cell.rate.name()) << "\",\"scenario\":\""
+        << json_escape(cell.cell.scenario.name()) << "\",\"granularity\":\""
         << to_string(cell.cell.granularity) << "\",\"order\":\""
         << to_string(cell.cell.order) << "\",\"start\":\""
         << to_string(cell.cell.start) << "\",\"runs\":" << cell.runs
@@ -134,6 +140,12 @@ std::string sweep_to_json(const SweepResult& result) {
     append_stats_json(out, "fairness", cell.fairness);
     out << ',';
     append_stats_json(out, "load_imbalance", cell.load_imbalance);
+    out << ',';
+    append_stats_json(out, "deployed", cell.deployed);
+    out << ',';
+    append_stats_json(out, "per_radio_spread", cell.per_radio_spread);
+    out << ',';
+    append_stats_json(out, "budget_fairness", cell.budget_fairness);
     out << ",\"sim_runs\":" << cell.sim_runs << ',';
     append_stats_json(out, "sim_total_bps", cell.sim_total_bps);
     out << ',';
@@ -150,11 +162,19 @@ std::string sweep_to_json(const SweepResult& result) {
 
 std::string sweep_to_table(const SweepResult& result) {
   bool has_sim = false;
-  for (const CellResult& cell : result.cells) has_sim |= cell.sim_runs > 0;
+  bool has_scenario = false;
+  for (const CellResult& cell : result.cells) {
+    has_sim |= cell.sim_runs > 0;
+    has_scenario |= cell.cell.scenario.kind != ScenarioSpec::Kind::kBase;
+  }
 
   std::vector<std::string> header = {
       "N", "C", "k", "rate", "dyn", "order", "start", "conv",
       "activations", "welfare", "efficiency", "PoA", "fairness"};
+  if (has_scenario) {
+    header.insert(header.begin() + 4, "scenario");
+    header.insert(header.end(), {"deployed", "spread", "bfair"});
+  }
   if (has_sim) {
     header.insert(header.end(),
                   {"sim Mbps", "sim gap", "sim fair", "sim imbal"});
@@ -174,6 +194,12 @@ std::string sweep_to_table(const SweepResult& result) {
         Table::fmt(cell.efficiency.mean(), 4),
         Table::fmt(cell.anarchy_ratio.mean(), 4),
         Table::fmt(cell.fairness.mean(), 4)};
+    if (has_scenario) {
+      row.insert(row.begin() + 4, cell.cell.scenario.name());
+      row.push_back(Table::fmt(cell.deployed.mean(), 2));
+      row.push_back(Table::fmt(cell.per_radio_spread.mean(), 4));
+      row.push_back(Table::fmt(cell.budget_fairness.mean(), 4));
+    }
     if (has_sim) {
       row.push_back(Table::fmt(cell.sim_total_bps.mean() / 1e6, 4));
       row.push_back(Table::fmt(cell.sim_gap.mean(), 4));

@@ -146,20 +146,20 @@ std::vector<double> BianchiDcfModel::optimal_rate_table(
 }
 
 std::shared_ptr<const RateFunction> BianchiDcfModel::make_practical_rate(
-    int max_stations) const {
+    int max_stations, bool strict) const {
   // Monotonize with a generous tolerance: the analytic curve is decreasing
   // for the default parameters, but large cw_min configurations can rise
   // slightly before falling; the game contract needs non-increasing R.
   return std::make_shared<TabulatedRate>(
       practical_rate_table(max_stations), "Bianchi-DCF(practical)",
-      params_.bitrate_bps / 1e6);
+      params_.bitrate_bps / 1e6, strict);
 }
 
 std::shared_ptr<const RateFunction> BianchiDcfModel::make_optimal_rate(
-    int max_stations) const {
+    int max_stations, bool strict) const {
   return std::make_shared<TabulatedRate>(optimal_rate_table(max_stations),
                                          "Bianchi-DCF(optimal-backoff)",
-                                         params_.bitrate_bps / 1e6);
+                                         params_.bitrate_bps / 1e6, strict);
 }
 
 }  // namespace mrca

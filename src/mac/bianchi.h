@@ -69,11 +69,13 @@ class BianchiDcfModel {
 
   /// The same tables wrapped as game rate functions (monotonized; see
   /// TabulatedRate — the optimal curve is constant-like but not exactly
-  /// monotone, which the wrapper absorbs).
+  /// monotone, which the wrapper absorbs). A `strict` table throws
+  /// std::out_of_range on loads beyond max_stations instead of silently
+  /// flattening — size it to the game's |N|*k.
   std::shared_ptr<const RateFunction> make_practical_rate(
-      int max_stations) const;
+      int max_stations, bool strict = false) const;
   std::shared_ptr<const RateFunction> make_optimal_rate(
-      int max_stations) const;
+      int max_stations, bool strict = false) const;
 
  private:
   double solve_tau(int stations, int* iterations) const;

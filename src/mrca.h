@@ -29,12 +29,14 @@
 #include "core/ext/heterogeneous.h"     // IWYU pragma: export
 #include "core/ext/variable_radios.h"   // IWYU pragma: export
 #include "core/game.h"           // IWYU pragma: export
+#include "core/game_model.h"     // IWYU pragma: export
 #include "core/io.h"             // IWYU pragma: export
 #include "core/potential.h"      // IWYU pragma: export
 #include "core/rate_function.h"  // IWYU pragma: export
 #include "core/rate_table.h"     // IWYU pragma: export
 #include "core/strategy.h"       // IWYU pragma: export
 #include "core/types.h"          // IWYU pragma: export
+#include "engine/scenario.h"     // IWYU pragma: export
 #include "engine/sim_tier.h"     // IWYU pragma: export
 #include "engine/sweep.h"        // IWYU pragma: export
 #include "engine/sweep_io.h"     // IWYU pragma: export

@@ -156,9 +156,9 @@ TEST(Sweep, SequentialNeStartIsAlreadyStable) {
   for (const CellResult& cell : result.cells) {
     EXPECT_EQ(cell.converged, cell.runs);
     EXPECT_EQ(cell.improving_steps.mean(), 0.0);
-    const Game game(
-        GameConfig(cell.cell.users, cell.cell.channels, cell.cell.radios),
-        cell.cell.rate.make());
+    const GameConfig config(cell.cell.users, cell.cell.channels,
+                            cell.cell.radios);
+    const Game game(config, cell.cell.rate.make(config.total_radios()));
     EXPECT_NEAR(cell.welfare.mean(), nash_welfare(game), 1e-12);
   }
 }

@@ -1,0 +1,343 @@
+// The unified GameModel: equivalence with the four concrete game classes,
+// oracle-grade best responses under every scenario axis, the shared
+// cache-accelerated dynamics driver on extension games, and the
+// incremental-vs-recomputed utility agreement the tentpole demands.
+#include "core/game_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/alloc/best_response.h"
+#include "core/alloc/random_alloc.h"
+#include "core/alloc/sequential.h"
+#include "core/alloc/utility_cache.h"
+#include "core/analysis/nash.h"
+#include "core/ext/energy.h"
+#include "core/ext/heterogeneous.h"
+#include "core/ext/variable_radios.h"
+#include "test_util.h"
+
+namespace mrca {
+namespace {
+
+using testing::constant_game;
+using testing::power_law_game;
+
+std::shared_ptr<const RateFunction> unit_rate() {
+  return std::make_shared<ConstantRate>(1.0);
+}
+
+/// Heterogeneous rates: one wide, one decaying, two narrow channels.
+std::vector<std::shared_ptr<const RateFunction>> mixed_rates() {
+  return {std::make_shared<ConstantRate>(3.0),
+          std::make_shared<PowerLawRate>(1.5, 1.0),
+          std::make_shared<GeometricDecayRate>(1.0, 0.7),
+          std::make_shared<ConstantRate>(0.5)};
+}
+
+/// Enumerates user `user`'s strategy rows under their own budget.
+std::vector<std::vector<RadioCount>> rows_for_budget(std::size_t channels,
+                                                     RadioCount budget) {
+  if (budget == 0) {
+    return {std::vector<RadioCount>(channels, 0)};
+  }
+  return enumerate_strategy_rows(GameConfig(1, channels, budget));
+}
+
+TEST(GameModel, ValidatesConstruction) {
+  EXPECT_THROW(GameModel(3, {}, {unit_rate()}), std::invalid_argument);
+  EXPECT_THROW(GameModel(3, {2, -1}, {unit_rate()}), std::invalid_argument);
+  EXPECT_THROW(GameModel(3, {4, 1}, {unit_rate()}), std::invalid_argument);
+  EXPECT_THROW(GameModel(3, {0, 0}, {unit_rate()}), std::invalid_argument);
+  EXPECT_THROW(GameModel(3, {1, 2}, {unit_rate(), unit_rate()}),
+               std::invalid_argument);  // 2 rates for 3 channels
+  EXPECT_THROW(GameModel(3, {1, 2}, {nullptr}), std::invalid_argument);
+  EXPECT_THROW(GameModel(GameConfig(2, 3, 1), unit_rate(), -0.5),
+               std::invalid_argument);
+  EXPECT_NO_THROW(GameModel(3, {0, 2, 3}, {unit_rate()}));
+}
+
+TEST(GameModel, MatchesHomogeneousGameExactly) {
+  const Game game = power_law_game(5, 4, 2);
+  const GameModel model(game);
+  EXPECT_TRUE(model.uniform_rates());
+  EXPECT_TRUE(model.uniform_budgets());
+  EXPECT_EQ(model.total_radios(), game.config().total_radios());
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const StrategyMatrix matrix = random_partial_allocation(game, rng);
+    for (UserId i = 0; i < 5; ++i) {
+      ASSERT_DOUBLE_EQ(model.utility(matrix, i), game.utility(matrix, i));
+      const BestResponse a = model.best_response(matrix, i);
+      const BestResponse b = best_response(game, matrix, i);
+      ASSERT_EQ(a.utility, b.utility);
+      ASSERT_EQ(a.strategy, b.strategy);
+    }
+    ASSERT_DOUBLE_EQ(model.welfare(matrix), game.welfare(matrix));
+    ASSERT_EQ(model.is_nash_equilibrium(matrix),
+              is_nash_equilibrium(game, matrix));
+  }
+  EXPECT_DOUBLE_EQ(model.optimal_welfare(), game.optimal_welfare());
+}
+
+TEST(GameModel, SingleChangeScansMatchHomogeneousScanner) {
+  const Game game = power_law_game(5, 4, 2);
+  const GameModel model(game);
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const StrategyMatrix matrix = random_partial_allocation(game, rng);
+    for (UserId i = 0; i < 5; ++i) {
+      const auto a = model.best_single_change(matrix, i);
+      const auto b = best_single_change(game, matrix, i);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        EXPECT_EQ(a->benefit, b->benefit);
+        EXPECT_EQ(a->kind, b->kind);
+        EXPECT_EQ(a->from, b->from);
+        EXPECT_EQ(a->to, b->to);
+      }
+      const auto list_a = model.improving_changes_for_user(matrix, i);
+      const auto list_b = improving_changes_for_user(game, matrix, i);
+      ASSERT_EQ(list_a.size(), list_b.size());
+      for (std::size_t j = 0; j < list_a.size(); ++j) {
+        EXPECT_EQ(list_a[j].benefit, list_b[j].benefit);
+        EXPECT_EQ(list_a[j].kind, list_b[j].kind);
+      }
+    }
+  }
+}
+
+TEST(GameModel, BestResponseIsAnOracleUnderAllAxesCombined) {
+  // Heterogeneous rates AND mixed budgets AND an energy price in one model
+  // — a configuration none of the pre-unification classes could express.
+  const std::vector<RadioCount> budgets = {1, 3, 2};
+  const GameModel model(4, budgets, mixed_rates(), 0.15);
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    StrategyMatrix matrix = model.empty_strategy();
+    for (UserId i = 0; i < budgets.size(); ++i) {
+      const auto deployed =
+          static_cast<RadioCount>(rng.uniform_int(0, budgets[i]));
+      for (RadioCount j = 0; j < deployed; ++j) {
+        matrix.add_radio(i, rng.index(4));
+      }
+    }
+    for (UserId i = 0; i < budgets.size(); ++i) {
+      const BestResponse dp = model.best_response(matrix, i);
+      double best = -1e300;
+      for (const auto& row : rows_for_budget(4, budgets[i])) {
+        StrategyMatrix changed = matrix;
+        changed.set_row(i, row);
+        best = std::max(best, model.utility(changed, i));
+      }
+      ASSERT_NEAR(dp.utility, best, 1e-10) << matrix.key();
+    }
+  }
+}
+
+TEST(GameModel, ValidateEnforcesPerUserBudgets) {
+  const GameModel model(3, {1, 2}, {unit_rate()});
+  StrategyMatrix matrix = model.empty_strategy();
+  matrix.add_radio(0, 0);
+  EXPECT_NO_THROW(model.validate(matrix));
+  matrix.add_radio(0, 1);  // matrix cap is 2, user 0's budget is 1
+  EXPECT_THROW(model.validate(matrix), std::invalid_argument);
+  EXPECT_THROW(model.utility(matrix, 0), std::invalid_argument);
+}
+
+TEST(GameModel, OptimalWelfareSkipsChannelsBelowTheEnergyPrice) {
+  // R(1) = 1, cost 0.6: each occupied channel nets 0.4.
+  const GameModel cheap(GameConfig(3, 3, 2), unit_rate(), 0.6);
+  EXPECT_NEAR(cheap.optimal_welfare(), 3 * 0.4, 1e-12);
+  // Cost above R(1): deploying anything is a net loss; optimum is empty.
+  const GameModel dear(GameConfig(3, 3, 2), unit_rate(), 1.5);
+  EXPECT_DOUBLE_EQ(dear.optimal_welfare(), 0.0);
+  // Heterogeneous: only the channels that cover the price count.
+  const GameModel mixed(
+      2, {1, 1},
+      {std::make_shared<ConstantRate>(3.0), std::make_shared<ConstantRate>(1.0)},
+      2.0);
+  EXPECT_DOUBLE_EQ(mixed.optimal_welfare(), 1.0);  // 3-2 counted, 1-2 not
+}
+
+// --- The tentpole's regression: incremental vs recomputed utilities -------
+
+/// Drives a model-backed UtilityCache through `steps` random budget-aware
+/// mutations and asserts the incremental utilities agree with a fresh
+/// model.utilities() recompute to 1e-12 throughout.
+void drive_cache_and_check(const GameModel& model, Rng& rng, int steps) {
+  StrategyMatrix matrix = model.empty_strategy();
+  UtilityCache cache(model, matrix);
+  const std::size_t users = model.num_users();
+  const std::size_t channels = model.num_channels();
+  for (int step = 0; step < steps; ++step) {
+    const UserId user = static_cast<UserId>(rng.index(users));
+    const ChannelId a = static_cast<ChannelId>(rng.index(channels));
+    const ChannelId b = static_cast<ChannelId>(rng.index(channels));
+    switch (rng.index(4)) {
+      case 0:
+        if (matrix.user_total(user) < model.budget(user)) {
+          cache.add_radio(matrix, user, a);
+        }
+        break;
+      case 1:
+        if (matrix.at(user, a) > 0) cache.remove_radio(matrix, user, a);
+        break;
+      case 2:
+        if (matrix.at(user, a) > 0) cache.move_radio(matrix, user, a, b);
+        break;
+      case 3: {
+        std::vector<RadioCount> row(channels, 0);
+        RadioCount budget = model.budget(user);
+        while (budget > 0 && rng.bernoulli(0.7)) {
+          ++row[rng.index(channels)];
+          --budget;
+        }
+        cache.set_row(matrix, user, row);
+        break;
+      }
+    }
+    if (step % 100 == 0) {
+      ASSERT_LT(cache.max_drift(matrix), 1e-12) << "step " << step;
+    }
+  }
+  const std::vector<double> fresh = model.utilities(matrix);
+  for (UserId i = 0; i < users; ++i) {
+    EXPECT_NEAR(cache.utility(i), fresh[i], 1e-12);
+  }
+  EXPECT_NEAR(cache.welfare(), model.welfare(matrix), 1e-12);
+}
+
+TEST(GameModelCache, TracksHeterogeneousGameTrajectories) {
+  const GameModel model(4, std::vector<RadioCount>(6, 3), mixed_rates());
+  Rng rng(31);
+  drive_cache_and_check(model, rng, 1500);
+}
+
+TEST(GameModelCache, TracksVariableBudgetTrajectories) {
+  const GameModel model(5, {1, 4, 0, 2, 5, 3}, {unit_rate()});
+  Rng rng(37);
+  drive_cache_and_check(model, rng, 1500);
+}
+
+TEST(GameModelCache, TracksEnergyPricedTrajectories) {
+  const GameModel model(GameConfig(6, 5, 3),
+                        std::make_shared<PowerLawRate>(1.0, 0.5), 0.25);
+  Rng rng(41);
+  drive_cache_and_check(model, rng, 1500);
+}
+
+TEST(GameModelCache, TracksAllAxesCombined) {
+  const GameModel model(4, {2, 4, 1, 3}, mixed_rates(), 0.1);
+  Rng rng(43);
+  drive_cache_and_check(model, rng, 1500);
+}
+
+TEST(GameModelCache, BudgetChecksUseTheModelNotTheMatrixCap) {
+  const GameModel model(3, {1, 3}, {unit_rate()});
+  StrategyMatrix matrix = model.empty_strategy();
+  UtilityCache cache(model, matrix);
+  cache.add_radio(matrix, 0, 0);
+  // The matrix cap (max budget = 3) would allow more, but user 0's own
+  // budget is 1 — both the incremental path and set_row must refuse.
+  EXPECT_THROW(cache.add_radio(matrix, 0, 1), std::logic_error);
+  std::vector<RadioCount> over{1, 1, 0};
+  EXPECT_THROW(cache.set_row(matrix, 0, over), std::invalid_argument);
+  EXPECT_EQ(cache.max_drift(matrix), 0.0);
+}
+
+// --- The shared driver on extension games ---------------------------------
+
+TEST(UnifiedDynamics, ExtensionGamesConvergeThroughTheSharedDriver) {
+  // The three extension classes now delegate to run_response_dynamics;
+  // their fixed points must still be verified equilibria of their models.
+  const HeterogeneousGame het(GameConfig(5, 4, 2), mixed_rates());
+  const auto het_outcome = het.run_best_response_dynamics(het.empty_strategy());
+  ASSERT_TRUE(het_outcome.converged);
+  EXPECT_TRUE(het.is_nash_equilibrium(het_outcome.final_state));
+
+  const VariableRadioGame var(4, {1, 2, 3, 4}, unit_rate());
+  const auto var_outcome = var.run_best_response_dynamics(var.empty_strategy());
+  ASSERT_TRUE(var_outcome.converged);
+  EXPECT_TRUE(var.is_nash_equilibrium(var_outcome.final_state));
+
+  const EnergyAwareGame energy(constant_game(4, 4, 3), 0.3);
+  const auto energy_outcome =
+      energy.run_best_response_dynamics(energy.base().empty_strategy());
+  ASSERT_TRUE(energy_outcome.converged);
+  EXPECT_TRUE(energy.is_nash_equilibrium(energy_outcome.final_state));
+}
+
+TEST(UnifiedDynamics, ResultTypesAreTheSharedAliases) {
+  // Satellite of the unification: the per-class result structs are gone;
+  // the aliases must BE the shared DynamicsResult.
+  static_assert(
+      std::is_same_v<HeterogeneousGame::DynamicsOutcome, DynamicsResult>);
+  static_assert(std::is_same_v<VariableRadioGame::Outcome, DynamicsResult>);
+  static_assert(std::is_same_v<EnergyAwareGame::Outcome, DynamicsResult>);
+  static_assert(std::is_same_v<BestResponseHet, BestResponse>);
+}
+
+TEST(UnifiedDynamics, IncrementalAndRecomputedPathsAgreeOnExtensions) {
+  // The cache-accelerated path and the full-recompute path must walk the
+  // same trajectory on every scenario axis, not just the base game.
+  const GameModel models[] = {
+      GameModel(4, std::vector<RadioCount>(5, 2), mixed_rates()),
+      GameModel(5, {1, 4, 2, 5, 3}, {unit_rate()}),
+      GameModel(GameConfig(5, 4, 2),
+                std::make_shared<PowerLawRate>(1.0, 0.5), 0.2),
+  };
+  for (const GameModel& model : models) {
+    for (const auto granularity : {ResponseGranularity::kBestResponse,
+                                   ResponseGranularity::kBestSingleMove,
+                                   ResponseGranularity::kRandomImprovingMove}) {
+      Rng start_rng(404);
+      for (int trial = 0; trial < 4; ++trial) {
+        const StrategyMatrix start = random_full_allocation(model, start_rng);
+        DynamicsOptions incremental;
+        incremental.granularity = granularity;
+        incremental.record_welfare_trace = true;
+        DynamicsOptions full = incremental;
+        full.use_incremental_cache = false;
+        Rng rng_a(1234);
+        Rng rng_b(1234);
+        const DynamicsResult a =
+            run_response_dynamics(model, start, incremental, &rng_a);
+        const DynamicsResult b =
+            run_response_dynamics(model, start, full, &rng_b);
+        EXPECT_TRUE(a.final_state == b.final_state);
+        EXPECT_EQ(a.activations, b.activations);
+        EXPECT_EQ(a.improving_steps, b.improving_steps);
+        EXPECT_EQ(a.converged, b.converged);
+        ASSERT_EQ(a.welfare_trace.size(), b.welfare_trace.size());
+        for (std::size_t i = 0; i < a.welfare_trace.size(); ++i) {
+          EXPECT_NEAR(a.welfare_trace[i], b.welfare_trace[i], 1e-10);
+        }
+      }
+    }
+  }
+}
+
+TEST(UnifiedSequential, GeneralizedAlgorithm1BalancesAndStabilizes) {
+  const GameModel model(4, {1, 2, 3, 4, 2}, {unit_rate()});
+  const StrategyMatrix ne = sequential_allocation(model);
+  for (UserId i = 0; i < model.num_users(); ++i) {
+    EXPECT_EQ(ne.user_total(i), model.budget(i));
+  }
+  EXPECT_LE(ne.max_load() - ne.min_load(), 1);
+  EXPECT_TRUE(model.is_nash_equilibrium(ne));
+}
+
+TEST(GameModel, BudgetFairnessIsPerfectAtProportionalShares) {
+  const GameModel model(4, {1, 2, 1, 4}, {unit_rate()});
+  const StrategyMatrix ne = sequential_allocation(model);
+  // Constant R with balanced loads: every radio earns the same, so
+  // utilities are exactly proportional to budgets.
+  EXPECT_NEAR(model.budget_fairness(ne), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mrca

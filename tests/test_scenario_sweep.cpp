@@ -1,0 +1,282 @@
+// ScenarioSpec and the scenario axis of the sweep engine: spec round-trips,
+// grid expansion rules, scenario metric columns in all three writers,
+// thread-count determinism of scenario sweeps, and the sim tier replaying
+// heterogeneous / variable-budget allocations through the DES.
+#include "engine/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "engine/sweep.h"
+#include "engine/sweep_io.h"
+#include "strict_json.h"
+
+namespace mrca {
+namespace {
+
+using engine::CellResult;
+using engine::RateSpec;
+using engine::ScenarioSpec;
+using engine::SweepOptions;
+using engine::SweepResult;
+using engine::SweepSpec;
+using engine::SweepStart;
+
+ScenarioSpec energy(double cost) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioSpec::Kind::kEnergy;
+  spec.energy_cost = cost;
+  return spec;
+}
+
+ScenarioSpec het(std::vector<double> scales) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioSpec::Kind::kHeterogeneous;
+  spec.rate_scales = std::move(scales);
+  return spec;
+}
+
+ScenarioSpec budgets(std::vector<RadioCount> mix) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioSpec::Kind::kBudgets;
+  spec.budget_mix = std::move(mix);
+  return spec;
+}
+
+TEST(ScenarioSpec, NameParseRoundTrip) {
+  const std::vector<ScenarioSpec> specs = {
+      ScenarioSpec{},
+      energy(0.25),
+      energy(0.12345678901234567),
+      het({2.0, 1.0, 0.5}),
+      budgets({1, 4, 2}),
+  };
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_EQ(ScenarioSpec::parse(spec.name()), spec) << spec.name();
+  }
+}
+
+TEST(ScenarioSpec, EmptyListsOnStructBuiltSpecsThrowInsteadOfCrashing) {
+  // parse() guards non-emptiness; the open-struct path must too (an empty
+  // mix/profile would otherwise be a modulo-by-zero).
+  ScenarioSpec no_mix;
+  no_mix.kind = ScenarioSpec::Kind::kBudgets;
+  EXPECT_THROW(no_mix.budgets(4, 3, 1), std::invalid_argument);
+  EXPECT_THROW(no_mix.make_model(4, 3, 1, nullptr), std::invalid_argument);
+  ScenarioSpec no_scales;
+  no_scales.kind = ScenarioSpec::Kind::kHeterogeneous;
+  EXPECT_THROW(no_scales.make_model(4, 3, 1, nullptr), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(ScenarioSpec::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("energy=-1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("energy=abc"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("het="), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("het=0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("het=1:-2"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("budgets=0:0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("budgets=1:x"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse_list(""), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ParseListExpandsCommaValuesAndSemicolonGroups) {
+  const auto specs =
+      ScenarioSpec::parse_list("energy=0.1,0.3;het=2:1;budgets=1:4;base");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0], energy(0.1));
+  EXPECT_EQ(specs[1], energy(0.3));
+  EXPECT_EQ(specs[2], het({2.0, 1.0}));
+  EXPECT_EQ(specs[3], budgets({1, 4}));
+  EXPECT_EQ(specs[4], ScenarioSpec{});
+}
+
+TEST(ScenarioSpec, BudgetsClampToChannelCountAndCycle) {
+  const ScenarioSpec spec = budgets({1, 6});
+  const auto result = spec.budgets(5, /*channels=*/4, /*radios=*/2);
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[0], 1);
+  EXPECT_EQ(result[1], 4);  // 6 clamped to |C| = 4
+  EXPECT_EQ(result[2], 1);
+  EXPECT_EQ(result[3], 4);
+  EXPECT_EQ(result[4], 1);
+  EXPECT_EQ(spec.total_radios(5, 4, 2), 11);
+  // Non-budget scenarios use the grid's k for every user.
+  EXPECT_EQ(ScenarioSpec{}.total_radios(5, 4, 2), 10);
+}
+
+TEST(ScenarioExpansion, CrossesTheScenarioAxisAndCollapsesKForBudgets) {
+  SweepSpec spec;
+  spec.users = {4};
+  spec.channels = {4};
+  spec.radios = {1, 2};
+  spec.scenarios = {ScenarioSpec{}, energy(0.2), budgets({1, 3})};
+  const auto cells = spec.expand();
+  // base and energy cross both k values; budgets collapses to the first
+  // valid k (emitting it per-k would duplicate identical cells).
+  ASSERT_EQ(cells.size(), 2 * 2 + 1u);
+  std::size_t budget_cells = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    if (cells[i].scenario.kind == ScenarioSpec::Kind::kBudgets) {
+      ++budget_cells;
+      EXPECT_EQ(cells[i].radios, 1);  // the first valid k
+    }
+  }
+  EXPECT_EQ(budget_cells, 1u);
+  EXPECT_EQ(spec.grid_size(), 2u * 3u);
+}
+
+TEST(ScenarioExpansion, BudgetCellsSurviveWhenNoGridKIsValid) {
+  // budgets= does not use the k axis, so it must be emitted even when every
+  // radios value violates k <= |C| (the base cells are rightly dropped).
+  SweepSpec spec;
+  spec.users = {4};
+  spec.channels = {2};
+  spec.radios = {3};
+  spec.scenarios = {ScenarioSpec{}, budgets({1, 2})};
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].scenario.kind, ScenarioSpec::Kind::kBudgets);
+  EXPECT_EQ(cells[0].radios, 0);  // no valid grid k: display-only zero
+  // ... and the sweep actually runs it.
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].converged, result.cells[0].runs);
+  EXPECT_GT(result.cells[0].deployed.mean(), 0.0);
+}
+
+TEST(ScenarioExpansion, DuplicateKValuesEmitOneBudgetCell) {
+  SweepSpec spec;
+  spec.users = {2};
+  spec.channels = {3};
+  spec.radios = {2, 2};
+  spec.scenarios = {budgets({1, 2})};
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);  // not one per duplicated k
+  EXPECT_EQ(cells[0].radios, 2);
+}
+
+TEST(ScenarioSweep, EnergyKneeDeploymentFallsWithCost) {
+  // The §2 energy relaxation, now measured BY THE ENGINE: equilibrium
+  // deployment is monotone non-increasing in the energy price, and the
+  // knee (partial deployment) appears at intermediate costs.
+  SweepSpec spec;
+  spec.users = {3};
+  spec.channels = {3};
+  spec.radios = {2};
+  spec.scenarios = {energy(0.0), energy(0.6), energy(1.5)};
+  spec.starts = {SweepStart::kEmpty};
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 3u);
+  const double full = result.cells[0].deployed.mean();
+  const double knee = result.cells[1].deployed.mean();
+  const double off = result.cells[2].deployed.mean();
+  EXPECT_DOUBLE_EQ(full, 6.0);  // zero cost: Lemma 1, everything on air
+  EXPECT_GT(knee, 0.0);
+  EXPECT_LT(knee, full);  // the knee: some radios parked
+  EXPECT_DOUBLE_EQ(off, 0.0);  // cost above R(1): spectrum goes dark
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.converged, cell.runs);
+  }
+}
+
+TEST(ScenarioSweep, HeterogeneousCellsWaterFillAndStayEfficient) {
+  SweepSpec spec;
+  spec.users = {6};
+  spec.channels = {4};
+  spec.radios = {2};
+  spec.scenarios = {het({3.0, 1.0, 1.0, 1.0})};
+  spec.replicates = 3;
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& cell = result.cells[0];
+  EXPECT_EQ(cell.converged, cell.runs);
+  // Water-filling piles radios on the wide channel: the load-balance law
+  // breaks (imbalance > 1) while per-radio rates nearly equalize.
+  EXPECT_GT(cell.load_imbalance.mean(), 1.0);
+  EXPECT_GT(cell.efficiency.mean(), 0.8);
+}
+
+TEST(ScenarioSweep, BudgetCellsRespectPerUserBudgets) {
+  SweepSpec spec;
+  spec.users = {5};
+  spec.channels = {4};
+  spec.radios = {1};
+  spec.scenarios = {budgets({1, 4})};
+  spec.starts = {SweepStart::kSequentialNe};
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& cell = result.cells[0];
+  EXPECT_EQ(cell.converged, cell.runs);
+  // budgets 1,4,1,4,1 -> 11 radios stay on air at the NE start.
+  EXPECT_DOUBLE_EQ(cell.deployed.mean(), 11.0);
+  EXPECT_GT(cell.budget_fairness.mean(), 0.8);
+}
+
+/// The acceptance criterion: scenario sweeps are bit-identical at any
+/// thread count (serializations print doubles at 17 significant digits, so
+/// string equality is bit equality of the aggregates).
+TEST(ScenarioSweep, CsvBitIdenticalAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.users = {4, 6};
+  spec.channels = {3, 4};
+  spec.radios = {1, 2};
+  spec.scenarios = {ScenarioSpec{}, energy(0.3), het({2.0, 1.0}),
+                    budgets({1, 3})};
+  spec.replicates = 2;
+  spec.base_seed = 99;
+  const SweepResult one = engine::run_sweep(spec, SweepOptions{1});
+  const SweepResult eight = engine::run_sweep(spec, SweepOptions{8});
+  EXPECT_EQ(engine::sweep_to_csv(one), engine::sweep_to_csv(eight));
+  EXPECT_EQ(engine::sweep_to_json(one), engine::sweep_to_json(eight));
+}
+
+TEST(ScenarioSweep, WritersCarryTheScenarioColumns) {
+  SweepSpec spec;
+  spec.users = {4};
+  spec.channels = {3};
+  spec.radios = {1};
+  spec.scenarios = {energy(0.25)};
+  const SweepResult result = engine::run_sweep(spec);
+  const std::string csv = engine::sweep_to_csv(result);
+  EXPECT_NE(csv.find(",scenario,"), std::string::npos);
+  EXPECT_NE(csv.find("energy=0.25"), std::string::npos);
+  EXPECT_NE(csv.find("deployed_mean"), std::string::npos);
+  const std::string json = engine::sweep_to_json(result);
+  EXPECT_NE(json.find("\"scenario\":\"energy=0.25\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_radio_spread\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget_fairness\""), std::string::npos);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(json, &why)) << why;
+  const std::string table = engine::sweep_to_table(result);
+  EXPECT_NE(table.find("scenario"), std::string::npos);
+  EXPECT_NE(table.find("deployed"), std::string::npos);
+}
+
+TEST(ScenarioSweep, SimTierReplaysExtensionAllocationsThroughTheDes) {
+  // The packet-level tier consumes the converged StrategyMatrix directly,
+  // so heterogeneous and variable-budget allocations replay through the
+  // DES exactly like base-game ones.
+  SweepSpec spec;
+  spec.users = {3};
+  spec.channels = {3};
+  spec.radios = {1};
+  spec.scenarios = {het({2.0, 1.0}), budgets({1, 2})};
+  engine::SimTierSpec tier;
+  tier.mac = sim::MacKind::kTdma;
+  tier.duration_s = 0.2;
+  spec.sim_tier = tier;
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.sim_runs, cell.runs);
+    EXPECT_GT(cell.sim_total_bps.mean(), 0.0);
+    EXPECT_GE(cell.sim_fairness.mean(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mrca

@@ -17,6 +17,9 @@
 // Sweep options (list values as comma lists or lo:hi[:step] ranges):
 //   --users / --channels / --radios             grid axes (e.g. 2:40 or 4,8)
 //   --rates tdma|powerlaw=<a>|geom=<d>|linear=<s>  comma list
+//   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>  scenario axis
+//                                               (',' lists values, ';'
+//                                               separates kinds)
 //   --granularity best|single|random-move       comma list
 //   --order rr|random                           comma list
 //   --start empty|random|partial|ne             comma list
@@ -52,6 +55,7 @@ struct CliOptions {
   std::string channels_list = "4,8";
   std::string radios_list = "1,2";
   std::string rates_list = "tdma";
+  std::string scenario_list = "base";
   std::string granularity_list = "best";
   std::string order_list = "rr";
   std::string start_list = "random";
@@ -66,6 +70,8 @@ struct CliOptions {
   /// True when a --sim-* tuning flag appeared, so `sweep` can reject the
   /// combination "tier tuned but never enabled" instead of ignoring it.
   bool sim_flags_given = false;
+  /// True once --scenario appeared (repeat flags append groups).
+  bool scenario_given = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -78,13 +84,16 @@ struct CliOptions {
       "  rates    [--max-k K]\n"
       "  simulate N C k [--rate R] [--seed S] [--seconds T]\n"
       "  sweep    [--users L] [--channels L] [--radios L] [--rates L]\n"
-      "           [--granularity L] [--order L] [--start L]\n"
+      "           [--scenario S] [--granularity L] [--order L] [--start L]\n"
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
       "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
       "           (L = comma list or lo:hi[:step] range)\n"
       "rate specs (all commands): tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
-      "                         | geom=<decay> | linear=<slope>\n";
+      "                         | geom=<decay> | linear=<slope>\n"
+      "scenarios (sweep):  base | energy=<cost,..> | het=<scale:scale,..>\n"
+      "                  | budgets=<k:k:..,..>   (';' separates kinds, e.g.\n"
+      "                  --scenario \"energy=0.1,0.3;het=2:1;budgets=1:4\")\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -173,6 +182,15 @@ CliOptions parse_options(int argc, char** argv, int first) {
       options.radios_list = need_value(arg);
     } else if (arg == "--rates") {
       options.rates_list = need_value(arg);
+    } else if (arg == "--scenario") {
+      // Repeatable: later flags append as extra ';'-separated groups.
+      const std::string value = need_value(arg);
+      if (options.scenario_given) {
+        options.scenario_list += ';' + value;
+      } else {
+        options.scenario_list = value;
+        options.scenario_given = true;
+      }
     } else if (arg == "--granularity") {
       options.granularity_list = need_value(arg);
     } else if (arg == "--order") {
@@ -408,6 +426,7 @@ int cmd_sweep(const CliOptions& options) {
     spec.radios.push_back(static_cast<RadioCount>(k));
   }
   spec.rates = parse_enum_list(options.rates_list, parse_rate_spec);
+  spec.scenarios = engine::ScenarioSpec::parse_list(options.scenario_list);
   spec.granularities =
       parse_enum_list(options.granularity_list, parse_granularity);
   spec.orders = parse_enum_list(options.order_list, parse_order);
