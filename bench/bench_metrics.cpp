@@ -1,0 +1,123 @@
+// Metric-layer cost on the perf trajectory: one 512-user cell, every
+// built-in metric — first each metric alone (so a regression names its
+// culprit), then the full set as a sweep would evaluate it per run.
+//
+// Expected shape: nash / theorem1-fallback pay O(|N|*|C|*k^2) DP scans,
+// poa pays a full equilibrium computation when the model is heterogeneous,
+// pareto falls back to its NaN guard at this scale (the guard itself must
+// be cheap), fairness / welfare_eff are linear passes, and distributed
+// replays the §3 protocol.
+#include <benchmark/benchmark.h>
+
+#include "mrca.h"
+
+namespace {
+
+using namespace mrca;
+
+constexpr std::size_t kUsers = 512;
+constexpr std::size_t kChannels = 12;
+constexpr RadioCount kRadios = 4;
+
+std::shared_ptr<const RateFunction> base_rate() {
+  return std::make_shared<PowerLawRate>(1.0, 1.0);
+}
+
+GameModel make_model(const std::string& scenario) {
+  return engine::ScenarioSpec::parse(scenario).make_model(
+      kUsers, kChannels, kRadios, base_rate());
+}
+
+/// One finished run, shared by every metric evaluation in the benchmark.
+struct FinishedRun {
+  GameModel model;
+  StrategyMatrix start;
+  DynamicsResult dynamics;
+
+  explicit FinishedRun(const std::string& scenario)
+      : model(make_model(scenario)),
+        start(sequential_allocation(model)),
+        dynamics(run_response_dynamics(model, start)) {}
+
+  MetricContext context() const {
+    return MetricContext{model, start, dynamics, /*seed=*/42};
+  }
+};
+
+void run_metric(benchmark::State& state, const std::string& metric,
+                const std::string& scenario) {
+  const FinishedRun run(scenario);
+  const MetricSet set = MetricSet::parse_list(metric);
+  for (auto _ : state) {
+    const std::vector<double> values = set.compute(run.context());
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+
+void BM_MetricNash512(benchmark::State& state) {
+  run_metric(state, "nash", "base");
+}
+BENCHMARK(BM_MetricNash512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricSingleMove512(benchmark::State& state) {
+  run_metric(state, "single_move", "base");
+}
+BENCHMARK(BM_MetricSingleMove512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricTheorem1Homogeneous512(benchmark::State& state) {
+  run_metric(state, "theorem1", "base");
+}
+BENCHMARK(BM_MetricTheorem1Homogeneous512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricTheorem1ExactFallback512(benchmark::State& state) {
+  // Heterogeneous band: the printed predicate abstains, the DP oracle runs.
+  run_metric(state, "theorem1", "het=4:2:1:1");
+}
+BENCHMARK(BM_MetricTheorem1ExactFallback512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricPoaClosedForm512(benchmark::State& state) {
+  run_metric(state, "poa", "base");
+}
+BENCHMARK(BM_MetricPoaClosedForm512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricPoaExactFallback512(benchmark::State& state) {
+  // Energy price: nash_welfare computes a full equilibrium per evaluation.
+  run_metric(state, "poa", "energy=0.1");
+}
+BENCHMARK(BM_MetricPoaExactFallback512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricWelfareEff512(benchmark::State& state) {
+  run_metric(state, "welfare_eff", "base");
+}
+BENCHMARK(BM_MetricWelfareEff512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricParetoGuard512(benchmark::State& state) {
+  // At 512 users the enumeration guard must trip instantly (NaN or the
+  // welfare certificate), never an exponential walk.
+  run_metric(state, "pareto", "base");
+}
+BENCHMARK(BM_MetricParetoGuard512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricFairness512(benchmark::State& state) {
+  run_metric(state, "fairness", "budgets=1:4");
+}
+BENCHMARK(BM_MetricFairness512)->Unit(benchmark::kMillisecond);
+
+void BM_MetricDistributed512(benchmark::State& state) {
+  run_metric(state, "distributed", "base");
+}
+BENCHMARK(BM_MetricDistributed512)->Unit(benchmark::kMillisecond);
+
+void BM_FullMetricSet512(benchmark::State& state) {
+  // The whole registry per run — the worst-case per-task metric overhead a
+  // sweep cell can ask for.
+  run_metric(state,
+             "nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,"
+             "distributed",
+             "base");
+}
+BENCHMARK(BM_FullMetricSet512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,11 +9,11 @@
 
 namespace mrca {
 
-DistributedResult run_distributed_allocation(const Game& game,
+DistributedResult run_distributed_allocation(const GameModel& model,
                                              const StrategyMatrix& start,
                                              const DistributedOptions& options,
                                              Rng& rng) {
-  game.check_compatible(start);
+  model.validate(start);
   if (!(options.activation_probability > 0.0 &&
         options.activation_probability <= 1.0)) {
     throw std::invalid_argument(
@@ -21,7 +21,7 @@ DistributedResult run_distributed_allocation(const Game& game,
   }
   DistributedResult result{false, 0, 0, start};
   StrategyMatrix& state = result.final_state;
-  const std::size_t users = game.config().num_users;
+  const std::size_t users = model.config().num_users;
 
   std::vector<SingleChange> planned;
   planned.reserve(users);
@@ -30,7 +30,7 @@ DistributedResult run_distributed_allocation(const Game& game,
     // Termination test against the *current* state: if nobody has an
     // improving single change, the protocol is stable regardless of who
     // activates.
-    if (is_single_move_stable(game, state, options.tolerance)) {
+    if (is_single_move_stable(model, state, options.tolerance)) {
       result.converged = true;
       break;
     }
@@ -39,11 +39,12 @@ DistributedResult run_distributed_allocation(const Game& game,
     for (UserId user = 0; user < users; ++user) {
       if (!rng.bernoulli(options.activation_probability)) continue;
       const auto change =
-          best_single_change(game, state, user, options.tolerance);
+          model.best_single_change(state, user, options.tolerance);
       if (change) planned.push_back(*change);
     }
     // Commit phase: apply simultaneously-decided changes. A planned change
-    // is always applicable: it only touches the planning user's own radios.
+    // is always applicable: it only touches the planning user's own radios,
+    // within their own budget (a deploy is only proposed with a spare).
     for (const SingleChange& change : planned) {
       switch (change.kind) {
         case SingleChange::Kind::kMove:
@@ -60,9 +61,20 @@ DistributedResult run_distributed_allocation(const Game& game,
     }
   }
   if (!result.converged) {
-    result.converged = is_single_move_stable(game, state, options.tolerance);
+    result.converged = is_single_move_stable(model, state, options.tolerance);
   }
   return result;
+}
+
+DistributedResult run_distributed_allocation(const Game& game,
+                                             const StrategyMatrix& start,
+                                             const DistributedOptions& options,
+                                             Rng& rng) {
+  // One tabulation up front, then the model path: the table lookups are
+  // bit-identical to the live rate function, so the planned changes — and
+  // with them the RNG stream and the trajectory — match the pre-port
+  // implementation exactly.
+  return run_distributed_allocation(GameModel(game), start, options, rng);
 }
 
 }  // namespace mrca

@@ -13,10 +13,18 @@
 // With p = 1 users can oscillate in lockstep (classic load-balancing
 // herding); small p trades convergence speed for stability. The
 // `bench_convergence` harness sweeps p.
+//
+// The protocol runs against the unified GameModel, so it covers every
+// scenario axis (per-channel rates, per-user budgets, energy price): an
+// active user's best single change may deploy a spare radio or park one,
+// budget- and cost-aware, through the same shared deviation scanner as the
+// centralized dynamics. The Game overload is a thin view (one tabulation,
+// then the model path) and walks bit-identical trajectories.
 #pragma once
 
 #include "common/rng.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
@@ -34,6 +42,11 @@ struct DistributedResult {
   std::size_t total_moves = 0;
   StrategyMatrix final_state;
 };
+
+DistributedResult run_distributed_allocation(const GameModel& model,
+                                             const StrategyMatrix& start,
+                                             const DistributedOptions& options,
+                                             Rng& rng);
 
 DistributedResult run_distributed_allocation(const Game& game,
                                              const StrategyMatrix& start,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/alloc/utility_cache.h"
 
@@ -70,6 +71,45 @@ ChannelId place_one_radio_rule(StrategyMatrix& strategies, UserId user,
   return chosen;
 }
 
+/// Greedy marginal placement: the channel where one more of `user`'s radios
+/// gains the largest utility share (ties to the lowest index / the rng,
+/// like every other placement decision). This was HeterogeneousGame's
+/// bespoke allocator; it now rides the shared driver for every model.
+ChannelId place_one_radio_marginal(const GameModel& model,
+                                   StrategyMatrix& strategies, UserId user,
+                                   TieBreak tie_break, Rng* rng,
+                                   UtilityCache* cache) {
+  const std::size_t channels = strategies.num_channels();
+  std::vector<ChannelId> candidates;
+  double best_marginal = -1.0;
+  for (ChannelId c = 0; c < channels; ++c) {
+    const RadioCount load = strategies.channel_load(c) + 1;
+    const RadioCount own = strategies.at(user, c) + 1;
+    const double after = static_cast<double>(own) /
+                         static_cast<double>(load) * model.rate(c, load);
+    const double before =
+        strategies.at(user, c) > 0
+            ? static_cast<double>(strategies.at(user, c)) /
+                  static_cast<double>(strategies.channel_load(c)) *
+                  model.rate(c, strategies.channel_load(c))
+            : 0.0;
+    const double marginal = after - before;
+    if (marginal > best_marginal) {
+      best_marginal = marginal;
+      candidates.assign(1, c);
+    } else if (marginal == best_marginal) {
+      candidates.push_back(c);
+    }
+  }
+  const ChannelId chosen = pick(candidates, tie_break, rng);
+  if (cache) {
+    cache->add_radio(strategies, user, chosen);
+  } else {
+    strategies.add_radio(user, chosen);
+  }
+  return chosen;
+}
+
 /// Checks `order` is a permutation of all users; fills natural order if
 /// empty.
 std::vector<UserId> resolve_user_order(std::size_t num_users,
@@ -129,10 +169,33 @@ StrategyMatrix sequential_allocation(const Game& game,
   return strategies;
 }
 
+ChannelId place_one_radio(const GameModel& model, StrategyMatrix& strategies,
+                          UserId user, TieBreak tie_break, Rng* rng,
+                          UtilityCache* cache, PlacementRule placement) {
+  model.validate(strategies);
+  // The matrix alone only caps users at the LARGEST budget; enforce this
+  // user's own budget here, before the radio lands, not at the next
+  // validate() far from the cause.
+  if (strategies.user_total(user) >= model.budget(user)) {
+    throw std::logic_error(
+        "place_one_radio: user " + std::to_string(user) +
+        " already deploys their full budget of " +
+        std::to_string(model.budget(user)));
+  }
+  switch (placement) {
+    case PlacementRule::kLeastLoaded:
+      return place_one_radio_rule(strategies, user, tie_break, rng, cache);
+    case PlacementRule::kBestMarginal:
+      return place_one_radio_marginal(model, strategies, user, tie_break, rng,
+                                      cache);
+  }
+  throw std::logic_error("place_one_radio: unknown placement rule");
+}
+
 void allocate_user_sequentially(const GameModel& model,
                                 StrategyMatrix& strategies, UserId user,
                                 TieBreak tie_break, Rng* rng,
-                                UtilityCache* cache) {
+                                UtilityCache* cache, PlacementRule placement) {
   model.validate(strategies);
   if (strategies.user_total(user) != 0) {
     throw std::logic_error(
@@ -140,7 +203,15 @@ void allocate_user_sequentially(const GameModel& model,
   }
   const RadioCount k = model.budget(user);
   for (RadioCount j = 0; j < k; ++j) {
-    place_one_radio_rule(strategies, user, tie_break, rng, cache);
+    switch (placement) {
+      case PlacementRule::kLeastLoaded:
+        place_one_radio_rule(strategies, user, tie_break, rng, cache);
+        break;
+      case PlacementRule::kBestMarginal:
+        place_one_radio_marginal(model, strategies, user, tie_break, rng,
+                                 cache);
+        break;
+    }
   }
 }
 
@@ -152,7 +223,7 @@ StrategyMatrix sequential_allocation(const GameModel& model,
       resolve_user_order(model.config().num_users, options);
   for (const UserId user : order) {
     allocate_user_sequentially(model, strategies, user, options.tie_break,
-                               rng);
+                               rng, /*cache=*/nullptr, options.placement);
   }
   return strategies;
 }

@@ -33,10 +33,25 @@ enum class TieBreak {
   kRandom,
 };
 
+/// Which channel the next radio goes to. Both rules share the same driver
+/// (per-user order, per-radio loop, tie-break policy, cache insertion).
+enum class PlacementRule {
+  /// The paper's Algorithm 1 rule: a least-loaded channel (all-equal loads
+  /// prefer a channel the user does not occupy). Reads only the matrix, so
+  /// it is the rule for BOTH the Game and the GameModel entry points.
+  kLeastLoaded,
+  /// Greedy selfish filling: the channel where this radio's marginal
+  /// utility share is largest (per-channel rates make this the discrete
+  /// water-filling start for heterogeneous bands). Needs the model's rates,
+  /// so it is only available on the GameModel entry points.
+  kBestMarginal,
+};
+
 struct SequentialOptions {
   TieBreak tie_break = TieBreak::kLowestIndex;
   /// Order in which users allocate; empty = natural order 0..N-1.
   std::vector<UserId> user_order;
+  PlacementRule placement = PlacementRule::kLeastLoaded;
 };
 
 /// Runs Algorithm 1 from an empty allocation and returns the result.
@@ -67,7 +82,9 @@ ChannelId place_one_radio(const Game& game, StrategyMatrix& strategies,
 // of radios onto least-loaded channels. For heterogeneous rates this is a
 // deterministic load-balancing start (the dynamics then water-fill).
 
-/// Runs the generalized Algorithm 1 from an empty allocation.
+/// Runs the generalized Algorithm 1 from an empty allocation —
+/// `options.placement` selects the rule (least-loaded by default, greedy
+/// marginal filling for the water-filling start).
 StrategyMatrix sequential_allocation(const GameModel& model,
                                      const SequentialOptions& options = {},
                                      Rng* rng = nullptr);
@@ -77,6 +94,16 @@ void allocate_user_sequentially(const GameModel& model,
                                 StrategyMatrix& strategies, UserId user,
                                 TieBreak tie_break = TieBreak::kLowestIndex,
                                 Rng* rng = nullptr,
-                                UtilityCache* cache = nullptr);
+                                UtilityCache* cache = nullptr,
+                                PlacementRule placement =
+                                    PlacementRule::kLeastLoaded);
+
+/// Places a single radio of `user` by `placement`; returns the channel.
+ChannelId place_one_radio(const GameModel& model, StrategyMatrix& strategies,
+                          UserId user,
+                          TieBreak tie_break = TieBreak::kLowestIndex,
+                          Rng* rng = nullptr, UtilityCache* cache = nullptr,
+                          PlacementRule placement =
+                              PlacementRule::kLeastLoaded);
 
 }  // namespace mrca

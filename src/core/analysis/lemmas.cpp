@@ -29,6 +29,26 @@ std::vector<ConditionViolation> lemma1_violations(const StrategyMatrix& s) {
   return violations;
 }
 
+std::vector<ConditionViolation> lemma1_violations(const GameModel& model,
+                                                  const StrategyMatrix& s) {
+  std::vector<ConditionViolation> violations;
+  for (UserId i = 0; i < s.num_users(); ++i) {
+    const RadioCount budget = model.budget(i);
+    if (s.user_total(i) < budget) {
+      violations.push_back(
+          {"Lemma 1", i, 0, 0,
+           "user deploys " + std::to_string(s.user_total(i)) + " of " +
+               std::to_string(budget) + " radios"});
+    }
+  }
+  return violations;
+}
+
+bool theorem1_preconditions_hold(const GameModel& model) {
+  return model.uniform_rates() && model.uniform_budgets() &&
+         model.radio_cost() == 0.0;
+}
+
 std::vector<ConditionViolation> lemma2_violations(const StrategyMatrix& s) {
   std::vector<ConditionViolation> violations;
   for (UserId i = 0; i < s.num_users(); ++i) {
@@ -179,6 +199,31 @@ Theorem1Result check_theorem1(const StrategyMatrix& s) {
     }
   }
   return result;
+}
+
+Theorem1Result check_theorem1(const GameModel& model,
+                              const StrategyMatrix& s) {
+  model.validate(s);
+  if (!theorem1_preconditions_hold(model)) {
+    Theorem1Result result;
+    result.applicable = false;
+    std::string broken;
+    if (!model.uniform_rates()) broken += "per-channel rates";
+    if (!model.uniform_budgets()) {
+      if (!broken.empty()) broken += ", ";
+      broken += "mixed radio budgets";
+    }
+    if (model.radio_cost() != 0.0) {
+      if (!broken.empty()) broken += ", ";
+      broken += "energy price";
+    }
+    result.violations.push_back(
+        {"Theorem 1", 0, 0, 0,
+         "theorem assumes a homogeneous game; this model has " + broken +
+             " — use the exact checkers (nash.h)"});
+    return result;
+  }
+  return check_theorem1(s);
 }
 
 }  // namespace mrca

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/game_model.h"
 #include "core/strategy.h"
 #include "core/types.h"
 
@@ -27,6 +28,18 @@ struct ConditionViolation {
 /// Lemma 1: in a NE every user deploys all k radios.
 /// Returns one violation per user with k_i < k.
 std::vector<ConditionViolation> lemma1_violations(const StrategyMatrix& s);
+
+/// Model-aware Lemma 1: each user measured against their OWN radio budget
+/// (the homogeneous matrix form above reads the uniform k off the config).
+std::vector<ConditionViolation> lemma1_violations(const GameModel& model,
+                                                  const StrategyMatrix& s);
+
+/// True when `model` satisfies the homogeneity the paper's printed results
+/// assume: one shared rate function, uniform radio budgets, zero energy
+/// price. Theorem 1's load-balance characterization and the closed-form NE
+/// welfare are proven ONLY in this regime; callers must fall back to the
+/// exact checkers (nash.h) when this returns false.
+bool theorem1_preconditions_hold(const GameModel& model);
 
 /// Lemma 2: k_{i,b} > 0, k_{i,c} = 0 and delta_{b,c} > 1 -> not a NE.
 std::vector<ConditionViolation> lemma2_violations(const StrategyMatrix& s);
@@ -71,5 +84,16 @@ struct Theorem1Result {
 /// small loads; `is_single_move_stable` / `is_nash_equilibrium` (nash.h) are
 /// the exact checkers this predicate is audited against.
 Theorem1Result check_theorem1(const StrategyMatrix& s);
+
+/// Model-aware Theorem 1. When the model satisfies the theorem's
+/// homogeneity preconditions (`theorem1_preconditions_hold`) this is the
+/// printed predicate above. When an axis breaks them — per-channel rates,
+/// mixed budgets or an energy price — the predicate is out of its proven
+/// regime: the result comes back with `applicable == false` and a violation
+/// naming the broken precondition, NEVER a load-balance verdict that the
+/// heterogeneous equilibria would contradict (water-filling legitimately
+/// unbalances loads; energy prices legitimately park radios). Callers that
+/// need a verdict anyway must use the exact checkers in nash.h.
+Theorem1Result check_theorem1(const GameModel& model, const StrategyMatrix& s);
 
 }  // namespace mrca

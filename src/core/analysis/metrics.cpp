@@ -1,0 +1,240 @@
+#include "core/analysis/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/alloc/distributed.h"
+#include "core/analysis/efficiency.h"
+#include "core/analysis/lemmas.h"
+#include "core/analysis/nash.h"
+#include "core/analysis/pareto.h"
+
+namespace mrca {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Exhaustive Pareto enumeration is exponential; beyond this many joint
+/// matrices the metric reports NaN instead of hanging the sweep. At the
+/// limit a check visits ~2e5 matrices x N utility evaluations — a few
+/// milliseconds on tiny cells, unreachable for production-size ones.
+constexpr double kMaxParetoEnumeration = 2e5;
+
+double to01(bool value) { return value ? 1.0 : 0.0; }
+
+std::vector<Metric> make_builtins() {
+  std::vector<Metric> metrics;
+
+  // Definition 1, via the exact per-user best-response DP oracle (computed
+  // once per context and shared with theorem1's fallback).
+  metrics.push_back(Metric{
+      "nash",
+      {"nash_ne"},
+      [](const MetricContext& context) {
+        return std::vector<double>{to01(context.final_state_is_nash())};
+      }});
+
+  // The weaker layer the paper's lemmas analyze: no single-radio change
+  // (move/deploy/park) improves anyone.
+  metrics.push_back(Metric{
+      "single_move",
+      {"single_move_stable"},
+      [](const MetricContext& context) {
+        return std::vector<double>{to01(is_single_move_stable(
+            context.model, context.dynamics.final_state))};
+      }});
+
+  // The printed Theorem 1 predicate where its homogeneity preconditions
+  // hold; the exact oracle otherwise (exact_fallback flags which path ran).
+  metrics.push_back(Metric{
+      "theorem1",
+      {"theorem1_applicable", "theorem1_predicts_nash",
+       "theorem1_exact_fallback"},
+      [](const MetricContext& context) {
+        const StrategyMatrix& state = context.dynamics.final_state;
+        if (theorem1_preconditions_hold(context.model)) {
+          const Theorem1Result printed = check_theorem1(state);
+          if (printed.applicable) {
+            return std::vector<double>{1.0, to01(printed.predicts_nash()),
+                                       0.0};
+          }
+        }
+        // Out of the printed regime (heterogeneous axis or no-conflict
+        // Fact 1 territory): never guess — ask the DP oracle (shared with
+        // the nash metric, so selecting both pays for one scan).
+        return std::vector<double>{0.0, to01(context.final_state_is_nash()),
+                                   1.0};
+      }});
+
+  // NE welfare and the price of anarchy: Theorem 1 closed form when
+  // homogeneous, deterministic exact equilibrium otherwise (efficiency.h).
+  // NOTE: the fallback is a function of the MODEL only, yet the metric API
+  // evaluates per run — a cell with R replicates computes the same
+  // equilibrium R times. Deliberate for now: contexts stay self-contained
+  // and thread-free; a per-cell metric tier is a ROADMAP candidate if this
+  // dominates a sweep (bench_metrics tracks it).
+  metrics.push_back(Metric{
+      "poa",
+      {"nash_welfare", "poa"},
+      [](const MetricContext& context) {
+        const double at_nash = nash_welfare(context.model);
+        const double poa = at_nash > 0.0
+                               ? context.model.optimal_welfare() / at_nash
+                               : kNaN;
+        return std::vector<double>{at_nash, poa};
+      }});
+
+  // Fraction of the system optimum the converged allocation achieves.
+  metrics.push_back(Metric{
+      "welfare_eff",
+      {"welfare_eff"},
+      [](const MetricContext& context) {
+        return std::vector<double>{welfare_efficiency(
+            context.model, context.dynamics.final_state)};
+      }});
+
+  // Exact Pareto optimality where enumerable; the welfare certificate
+  // (sufficient at any scale) either settles it or the verdict is NaN.
+  metrics.push_back(Metric{
+      "pareto",
+      {"pareto_optimal", "pareto_welfare_cert"},
+      [](const MetricContext& context) {
+        const StrategyMatrix& state = context.dynamics.final_state;
+        const bool certified =
+            welfare_certifies_pareto(context.model, state);
+        if (certified) return std::vector<double>{1.0, 1.0};
+        if (strategy_space_size(context.model) <= kMaxParetoEnumeration) {
+          return std::vector<double>{
+              to01(is_pareto_optimal(context.model, state)), 0.0};
+        }
+        return std::vector<double>{kNaN, 0.0};
+      }});
+
+  // Jain fairness over raw utilities and over budget-normalized ones.
+  metrics.push_back(Metric{
+      "fairness",
+      {"fairness_utilities", "fairness_budget"},
+      [](const MetricContext& context) {
+        const StrategyMatrix& state = context.dynamics.final_state;
+        return std::vector<double>{
+            utility_fairness(context.model, state),
+            context.model.budget_fairness(state)};
+      }});
+
+  // The §3 distributed protocol replayed from the run's OWN start, on its
+  // own decorrelated RNG stream — how far does coordinator-free play get
+  // where the centralized dynamics converged?
+  metrics.push_back(Metric{
+      "distributed",
+      {"dist_converged", "dist_rounds", "dist_moves"},
+      [](const MetricContext& context) {
+        Rng rng(context.seed);
+        const DistributedResult result = run_distributed_allocation(
+            context.model, context.start, DistributedOptions{}, rng);
+        return std::vector<double>{to01(result.converged),
+                                   static_cast<double>(result.rounds),
+                                   static_cast<double>(result.total_moves)};
+      }});
+
+  return metrics;
+}
+
+std::string known_names() {
+  std::string names;
+  for (const Metric& metric : MetricSet::builtins()) {
+    if (!names.empty()) names += ", ";
+    names += metric.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+const std::vector<Metric>& MetricSet::builtins() {
+  static const std::vector<Metric> metrics = make_builtins();
+  return metrics;
+}
+
+const Metric& MetricSet::builtin(const std::string& name) {
+  for (const Metric& metric : builtins()) {
+    if (metric.name == name) return metric;
+  }
+  throw std::invalid_argument("unknown metric '" + name + "' (available: " +
+                              known_names() + ")");
+}
+
+MetricSet MetricSet::parse_list(const std::string& text) {
+  MetricSet set;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(',', begin);
+    const std::string item =
+        text.substr(begin, end == std::string::npos ? std::string::npos
+                                                    : end - begin);
+    if (item.empty()) {
+      throw std::invalid_argument("empty metric name in '" + text + "'");
+    }
+    set.add(builtin(item));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return set;
+}
+
+void MetricSet::add(Metric metric) {
+  if (metric.name.empty()) {
+    throw std::invalid_argument("MetricSet: metric needs a name");
+  }
+  if (metric.columns.empty() || !metric.compute) {
+    throw std::invalid_argument("MetricSet: metric '" + metric.name +
+                                "' needs columns and a compute function");
+  }
+  for (const Metric& existing : metrics_) {
+    if (existing.name == metric.name) {
+      throw std::invalid_argument("MetricSet: metric '" + metric.name +
+                                  "' registered twice");
+    }
+    for (const std::string& column : metric.columns) {
+      if (std::find(existing.columns.begin(), existing.columns.end(),
+                    column) != existing.columns.end()) {
+        throw std::invalid_argument("MetricSet: column '" + column +
+                                    "' already provided by metric '" +
+                                    existing.name + "'");
+      }
+    }
+  }
+  num_columns_ += metric.columns.size();
+  metrics_.push_back(std::move(metric));
+}
+
+std::vector<std::string> MetricSet::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(num_columns_);
+  for (const Metric& metric : metrics_) {
+    names.insert(names.end(), metric.columns.begin(), metric.columns.end());
+  }
+  return names;
+}
+
+std::vector<double> MetricSet::compute(const MetricContext& context) const {
+  std::vector<double> values;
+  values.reserve(num_columns_);
+  for (const Metric& metric : metrics_) {
+    std::vector<double> metric_values = metric.compute(context);
+    if (metric_values.size() != metric.columns.size()) {
+      throw std::logic_error("MetricSet: metric '" + metric.name +
+                             "' returned " +
+                             std::to_string(metric_values.size()) +
+                             " values for " +
+                             std::to_string(metric.columns.size()) +
+                             " columns");
+    }
+    values.insert(values.end(), metric_values.begin(), metric_values.end());
+  }
+  return values;
+}
+
+}  // namespace mrca

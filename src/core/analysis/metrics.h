@@ -1,0 +1,121 @@
+// The pluggable analysis API over the unified GameModel: a Metric is a
+// named bundle of columns computed from one finished run — (model, start,
+// dynamics result) — and a MetricSet is the ordered collection the sweep
+// engine evaluates per cell and serializes as dynamic columns.
+//
+// This is the ONE seam a new analysis plugs into (mirroring the
+// ScenarioSpec plug-in pattern for games): implement a compute function,
+// register it in a MetricSet, and every writer (CSV/JSON/table) and the
+// CLI's --metrics flag pick it up with no per-metric plumbing through
+// run_sweep. Built-ins cover the paper's headline analyses — Nash
+// verification (Definition 1), single-move stability, the Theorem 1
+// predicate (with exact fallback outside its homogeneity regime), price of
+// anarchy, welfare efficiency, Pareto checks, fairness, and the §3
+// distributed protocol — each model-generic, so they run for energy/het/
+// budget scenarios too.
+//
+// Determinism contract: a compute function must be a pure function of its
+// MetricContext. Stochastic metrics draw ONLY from an Rng seeded with
+// `context.seed` (a pure function of the sweep's task coordinates), so
+// sweep output stays bit-identical at any thread count. A column value of
+// NaN means "undefined for this run" — the aggregation layer skips the
+// sample and the JSON writer serializes the aggregate honestly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/alloc/best_response.h"
+#include "core/game_model.h"
+#include "core/strategy.h"
+
+namespace mrca {
+
+/// Everything one metric evaluation may read.
+struct MetricContext {
+  MetricContext(const GameModel& model_in, const StrategyMatrix& start_in,
+                const DynamicsResult& dynamics_in, std::uint64_t seed_in = 0)
+      : model(model_in), start(start_in), dynamics(dynamics_in),
+        seed(seed_in) {}
+
+  /// The cell's game model (scenario axes resolved).
+  const GameModel& model;
+  /// The run's starting allocation (e.g. for replaying the distributed
+  /// protocol against the same initial conditions the dynamics saw).
+  const StrategyMatrix& start;
+  /// The finished dynamics run; `dynamics.final_state` is the converged
+  /// (or budget-exhausted) allocation most metrics score.
+  const DynamicsResult& dynamics;
+  /// Pure per-run seed for stochastic metrics.
+  std::uint64_t seed;
+
+  /// The exact Definition-1 verdict on `dynamics.final_state`, computed at
+  /// most once per context no matter how many metrics ask — the DP scan is
+  /// the priciest per-run check, and both `nash` and `theorem1`'s exact
+  /// fallback need it.
+  bool final_state_is_nash() const {
+    if (!nash_verdict_) {
+      nash_verdict_ = model.is_nash_equilibrium(dynamics.final_state);
+    }
+    return *nash_verdict_;
+  }
+
+ private:
+  mutable std::optional<bool> nash_verdict_;
+};
+
+/// One named analysis producing a fixed set of columns per run.
+struct Metric {
+  /// Registry/CLI name, e.g. "poa".
+  std::string name;
+  /// Column names, globally unique across a MetricSet (they become CSV
+  /// headers and JSON keys).
+  std::vector<std::string> columns;
+  /// Returns exactly columns.size() values; NaN = undefined for this run.
+  std::function<std::vector<double>(const MetricContext&)> compute;
+};
+
+/// An ordered, name-addressable collection of metrics. Copyable (sweeps
+/// carry it by value in their spec).
+class MetricSet {
+ public:
+  MetricSet() = default;
+
+  /// The built-in registry: nash, single_move, theorem1, poa, welfare_eff,
+  /// pareto, fairness, distributed.
+  static const std::vector<Metric>& builtins();
+
+  /// Looks up one built-in; throws std::invalid_argument with the list of
+  /// known names on a miss (the CLI surfaces this verbatim).
+  static const Metric& builtin(const std::string& name);
+
+  /// Parses a comma list of built-in names, e.g. "nash,poa,welfare_eff".
+  /// Throws std::invalid_argument on unknown or duplicate names and on
+  /// empty items.
+  static MetricSet parse_list(const std::string& text);
+
+  /// Registers a metric (built-in or user-defined). Throws
+  /// std::invalid_argument on duplicate metric or column names.
+  void add(Metric metric);
+
+  bool empty() const noexcept { return metrics_.empty(); }
+  std::size_t size() const noexcept { return metrics_.size(); }
+  const std::vector<Metric>& metrics() const noexcept { return metrics_; }
+
+  /// All column names in metric order (the sweep's dynamic header block).
+  std::vector<std::string> column_names() const;
+  std::size_t num_columns() const noexcept { return num_columns_; }
+
+  /// Evaluates every metric and returns the flattened column values.
+  /// Throws std::logic_error if a compute returns the wrong arity.
+  std::vector<double> compute(const MetricContext& context) const;
+
+ private:
+  std::vector<Metric> metrics_;
+  std::size_t num_columns_ = 0;
+};
+
+}  // namespace mrca

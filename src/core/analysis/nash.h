@@ -17,12 +17,17 @@
 
 #include "core/analysis/deviation.h"
 #include "core/game.h"
+#include "core/game_model.h"
 #include "core/strategy.h"
 
 namespace mrca {
 
 /// True when no single-radio change (move/deploy/park) improves any user's
-/// utility by more than `tolerance`.
+/// utility by more than `tolerance`. Model-generic: per-channel rates,
+/// per-user budgets and the energy price all flow through the shared scan.
+bool is_single_move_stable(const GameModel& model,
+                           const StrategyMatrix& strategies,
+                           double tolerance = kUtilityTolerance);
 bool is_single_move_stable(const Game& game, const StrategyMatrix& strategies,
                            double tolerance = kUtilityTolerance);
 
@@ -36,22 +41,36 @@ struct NashViolation {
 
 /// True when the matrix is a Nash equilibrium per Definition 1: for every
 /// user, the exact best response does not beat the current strategy by more
-/// than `tolerance`.
+/// than `tolerance`. (Free-function form of GameModel::is_nash_equilibrium,
+/// so the model API mirrors the Game one call-for-call.)
+bool is_nash_equilibrium(const GameModel& model,
+                         const StrategyMatrix& strategies,
+                         double tolerance = kUtilityTolerance);
 bool is_nash_equilibrium(const Game& game, const StrategyMatrix& strategies,
                          double tolerance = kUtilityTolerance);
 
 /// As above, but returns the first profitable deviation found (or nullopt).
 std::optional<NashViolation> find_nash_violation(
+    const GameModel& model, const StrategyMatrix& strategies,
+    double tolerance = kUtilityTolerance);
+std::optional<NashViolation> find_nash_violation(
     const Game& game, const StrategyMatrix& strategies,
     double tolerance = kUtilityTolerance);
 
-/// Enumerates every strategy row for one user: all vectors of |C|
-/// non-negative counts with sum <= k (users may park radios, cf. Figure 1).
-/// Count: binomial(k + |C|, |C|).
+/// Enumerates every strategy row for one user with `budget` radios over
+/// `num_channels` channels: all vectors of non-negative counts with
+/// sum <= budget (users may park radios, cf. Figure 1).
+/// Count: binomial(budget + |C|, |C|).
+std::vector<std::vector<RadioCount>> enumerate_strategy_rows(
+    std::size_t num_channels, RadioCount budget);
+
+/// Uniform-budget convenience (the homogeneous game's row space).
 std::vector<std::vector<RadioCount>> enumerate_strategy_rows(
     const GameConfig& config);
 
-/// Enumerates all strategy rows with sum == k (full deployment only).
+/// Enumerates all strategy rows with sum == budget (full deployment only).
+std::vector<std::vector<RadioCount>> enumerate_full_rows(
+    std::size_t num_channels, RadioCount budget);
 std::vector<std::vector<RadioCount>> enumerate_full_rows(
     const GameConfig& config);
 
@@ -64,7 +83,24 @@ std::size_t for_each_strategy_matrix(
     const std::function<bool(const StrategyMatrix&)>& visit,
     bool full_deployment_only = false);
 
+/// Model-generic variant: each user's rows respect their OWN radio budget,
+/// so heterogeneous-budget strategy spaces enumerate exactly.
+std::size_t for_each_strategy_matrix(
+    const GameModel& model,
+    const std::function<bool(const StrategyMatrix&)>& visit,
+    bool full_deployment_only = false);
+
+/// Number of matrices for_each_strategy_matrix would visit, computed in
+/// closed form as a double (it overflows std::size_t long before the walk
+/// becomes feasible). The guard every enumeration-backed metric checks
+/// before committing to an exhaustive pass.
+double strategy_space_size(const GameModel& model,
+                           bool full_deployment_only = false);
+
 /// Brute-force count / collection of all Nash equilibria of a tiny game.
+std::vector<StrategyMatrix> enumerate_nash_equilibria(
+    const GameModel& model, double tolerance = kUtilityTolerance,
+    bool full_deployment_only = false);
 std::vector<StrategyMatrix> enumerate_nash_equilibria(
     const Game& game, double tolerance = kUtilityTolerance,
     bool full_deployment_only = false);

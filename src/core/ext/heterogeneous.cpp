@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/alloc/sequential.h"
+
 namespace mrca {
 namespace {
 
@@ -27,34 +29,12 @@ HeterogeneousGame::HeterogeneousGame(
              checked_rates(config, std::move(rates))) {}
 
 StrategyMatrix HeterogeneousGame::greedy_allocation() const {
-  const GameConfig& config = model_.config();
-  StrategyMatrix strategies(config);
-  for (UserId user = 0; user < config.num_users; ++user) {
-    for (RadioCount j = 0; j < config.radios_per_user; ++j) {
-      // Place the radio where its marginal per-radio rate is largest.
-      ChannelId best_channel = 0;
-      double best_marginal = -1.0;
-      for (ChannelId c = 0; c < config.num_channels; ++c) {
-        const RadioCount load = strategies.channel_load(c) + 1;
-        const RadioCount own = strategies.at(user, c) + 1;
-        const double after = static_cast<double>(own) /
-                             static_cast<double>(load) * model_.rate(c, load);
-        const double before =
-            strategies.at(user, c) > 0
-                ? static_cast<double>(strategies.at(user, c)) /
-                      static_cast<double>(strategies.channel_load(c)) *
-                      model_.rate(c, strategies.channel_load(c))
-                : 0.0;
-        const double marginal = after - before;
-        if (marginal > best_marginal) {
-          best_marginal = marginal;
-          best_channel = c;
-        }
-      }
-      strategies.add_radio(user, best_channel);
-    }
-  }
-  return strategies;
+  // The shared sequential driver with the greedy-marginal placement rule:
+  // user by user, radio by radio, ties to the lowest channel index —
+  // bit-identical to the bespoke allocator this replaced.
+  SequentialOptions options;
+  options.placement = PlacementRule::kBestMarginal;
+  return sequential_allocation(model_, options);
 }
 
 HeterogeneousGame::DynamicsOutcome

@@ -75,6 +75,7 @@ class HeterogeneousGame {
 
   /// Greedy selfish filling (the Algorithm 1 analogue): each user in turn
   /// places each radio on the channel with the best marginal rate for it.
+  /// Runs on the shared sequential driver (PlacementRule::kBestMarginal).
   StrategyMatrix greedy_allocation() const;
 
   /// Best-response dynamics from `start` via the shared driver; the result

@@ -35,6 +35,9 @@ struct RunOutcome {
   double deployed = 0.0;
   double per_radio_spread = 0.0;
   double budget_fairness = 0.0;
+  /// Flattened metric column values (empty when the spec has no metrics);
+  /// NaN entries mean "undefined for this run".
+  std::vector<double> metric_values;
   /// One entry per DES replay (empty when the spec has no sim tier); the
   /// vector is owned by this task's slot, so workers still share nothing.
   std::vector<SimTierOutcome> sim;
@@ -94,6 +97,17 @@ RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
       static_cast<double>(result.final_state.total_deployed());
   outcome.per_radio_spread = model.per_radio_spread(result.final_state);
   outcome.budget_fairness = model.budget_fairness(result.final_state);
+
+  // Analysis metrics: evaluated inside this task against the cell's shared
+  // read-only model. Stochastic metrics get their own decorrelated pure
+  // seed, so the values — like everything else in the outcome — are a pure
+  // function of the task coordinates.
+  if (!spec.metrics.empty()) {
+    const MetricContext context{
+        model, start, result,
+        derive_metric_seed(spec.base_seed, cell.index, replicate)};
+    outcome.metric_values = spec.metrics.compute(context);
+  }
 
   // Packet-level tier: replay the final allocation through the DES. Runs
   // inside this task, so the replays ride the same worker pool and the
@@ -293,6 +307,16 @@ std::uint64_t derive_sim_seed(std::uint64_t base_seed, std::size_t cell_index,
   return mix.next();
 }
 
+std::uint64_t derive_metric_seed(std::uint64_t base_seed,
+                                 std::size_t cell_index,
+                                 std::size_t replicate) {
+  // A distinct mixing constant keeps the metric stream decorrelated from
+  // both the run RNG and every DES replay stream.
+  SplitMix64 mix(derive_run_seed(base_seed, cell_index, replicate) ^
+                 0x94d049bb133111ebULL);
+  return mix.next();
+}
+
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   if (spec.replicates == 0) {
     throw std::invalid_argument("run_sweep: replicates must be >= 1");
@@ -345,12 +369,14 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
 
   // Sequential aggregation in task order: bit-identical at any thread count.
   SweepResult result;
+  result.metric_columns = spec.metrics.column_names();
   result.total_runs = total_runs;
   result.threads_used = workers;
   result.cells.reserve(cells.size());
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     CellResult aggregate;
     aggregate.cell = cells[ci];
+    aggregate.metric_stats.resize(result.metric_columns.size());
     for (std::size_t r = 0; r < spec.replicates; ++r) {
       const RunOutcome& outcome = outcomes[ci * spec.replicates + r];
       ++aggregate.runs;
@@ -367,6 +393,13 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       aggregate.deployed.add(outcome.deployed);
       aggregate.per_radio_spread.add(outcome.per_radio_spread);
       aggregate.budget_fairness.add(outcome.budget_fairness);
+      for (std::size_t m = 0; m < outcome.metric_values.size(); ++m) {
+        // NaN = "undefined for this run": skip the sample so means stay
+        // honest and the per-column count reports coverage.
+        if (!std::isnan(outcome.metric_values[m])) {
+          aggregate.metric_stats[m].add(outcome.metric_values[m]);
+        }
+      }
       for (const SimTierOutcome& sim : outcome.sim) {
         ++aggregate.sim_runs;
         aggregate.sim_total_bps.add(sim.total_bps);

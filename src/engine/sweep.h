@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "core/alloc/best_response.h"
+#include "core/analysis/metrics.h"
 #include "core/rate_function.h"
 #include "core/types.h"
 #include "engine/scenario.h"
@@ -99,6 +100,11 @@ struct SweepSpec {
   /// same worker pool, inside the run's task) and scored against the MAC
   /// model's analytic prediction.
   std::optional<SimTierSpec> sim_tier;
+  /// Analysis metrics evaluated per run, inside the pool task, against the
+  /// cell's model and the run's converged state (core/analysis/metrics.h).
+  /// Empty = no metric columns. Stochastic metrics draw from a pure
+  /// per-task seed, so output stays bit-identical at any thread count.
+  MetricSet metrics;
 
   /// One point of the expanded grid.
   struct Cell {
@@ -150,6 +156,12 @@ struct CellResult {
   /// Jain fairness over budget-normalized utilities U_i / k_i.
   RunningStats budget_fairness;
 
+  // Dynamic metric aggregates, parallel to SweepResult::metric_columns
+  // (empty when the spec has no metrics). A run whose metric value is NaN
+  // ("undefined here") is skipped, so `count()` reports how many runs had
+  // a defined value.
+  std::vector<RunningStats> metric_stats;
+
   // Packet-level tier aggregates (one sample per DES replay; all empty when
   // the spec has no sim_tier).
   std::size_t sim_runs = 0;
@@ -165,6 +177,9 @@ struct CellResult {
 
 struct SweepResult {
   std::vector<CellResult> cells;
+  /// Flattened metric column names (spec.metrics.column_names()); every
+  /// cell's metric_stats is parallel to this.
+  std::vector<std::string> metric_columns;
   std::size_t total_runs = 0;
   std::size_t threads_used = 1;
 };
@@ -185,6 +200,13 @@ std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t cell_index,
 std::uint64_t derive_sim_seed(std::uint64_t base_seed, std::size_t cell_index,
                               std::size_t replicate,
                               std::size_t sim_replicate);
+
+/// Deterministic seed for a run's metric evaluations: a pure function of
+/// (base_seed, cell, replicate), decorrelated from both the run's RNG and
+/// the DES streams.
+std::uint64_t derive_metric_seed(std::uint64_t base_seed,
+                                 std::size_t cell_index,
+                                 std::size_t replicate);
 
 /// Expands the spec and runs every (cell, replicate) task across the pool.
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});

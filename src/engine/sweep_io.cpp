@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -78,7 +79,13 @@ std::string sweep_to_csv(const SweepResult& result) {
          "anarchy_ratio_mean,fairness_mean,load_imbalance_mean,"
          "deployed_mean,per_radio_spread_mean,budget_fairness_mean,"
          "sim_runs,sim_total_bps_mean,sim_gap_mean,sim_gap_max,"
-         "sim_fairness_mean,sim_imbalance_mean\n";
+         "sim_fairness_mean,sim_imbalance_mean";
+  // Dynamic metric block: <column>_mean and <column>_count per registered
+  // metric column (the count exposes how many runs had a defined value).
+  for (const std::string& column : result.metric_columns) {
+    out << ',' << column << "_mean," << column << "_count";
+  }
+  out << '\n';
   for (const CellResult& cell : result.cells) {
     out << cell.cell.index << ',' << cell.cell.users << ','
         << cell.cell.channels << ',' << cell.cell.radios << ','
@@ -105,7 +112,17 @@ std::string sweep_to_csv(const SweepResult& result) {
         << full_precision(cell.sim_gap.mean()) << ','
         << full_precision(cell.sim_gap.empty() ? 0.0 : cell.sim_gap.max())
         << ',' << full_precision(cell.sim_fairness.mean()) << ','
-        << full_precision(cell.sim_imbalance.mean()) << '\n';
+        << full_precision(cell.sim_imbalance.mean());
+    for (const RunningStats& stats : cell.metric_stats) {
+      // An all-NaN column (metric undefined on every run of the cell)
+      // prints nan, never a fabricated 0.
+      out << ','
+          << full_precision(stats.empty()
+                                ? std::numeric_limits<double>::quiet_NaN()
+                                : stats.mean())
+          << ',' << stats.count();
+    }
+    out << '\n';
   }
   return out.str();
 }
@@ -154,6 +171,15 @@ std::string sweep_to_json(const SweepResult& result) {
     append_stats_json(out, "sim_fairness", cell.sim_fairness);
     out << ',';
     append_stats_json(out, "sim_imbalance", cell.sim_imbalance);
+    if (!result.metric_columns.empty()) {
+      out << ",\"metrics\":{";
+      for (std::size_t m = 0; m < result.metric_columns.size(); ++m) {
+        if (m) out << ',';
+        append_stats_json(out, result.metric_columns[m].c_str(),
+                          cell.metric_stats[m]);
+      }
+      out << '}';
+    }
     out << '}';
   }
   out << "]}";
@@ -179,6 +205,8 @@ std::string sweep_to_table(const SweepResult& result) {
     header.insert(header.end(),
                   {"sim Mbps", "sim gap", "sim fair", "sim imbal"});
   }
+  header.insert(header.end(), result.metric_columns.begin(),
+                result.metric_columns.end());
   Table table(header);
   for (const CellResult& cell : result.cells) {
     std::string converged = std::to_string(cell.converged);
@@ -205,6 +233,9 @@ std::string sweep_to_table(const SweepResult& result) {
       row.push_back(Table::fmt(cell.sim_gap.mean(), 4));
       row.push_back(Table::fmt(cell.sim_fairness.mean(), 4));
       row.push_back(Table::fmt(cell.sim_imbalance.mean(), 4));
+    }
+    for (const RunningStats& stats : cell.metric_stats) {
+      row.push_back(stats.empty() ? "-" : Table::fmt(stats.mean(), 4));
     }
     table.add_row(row);
   }

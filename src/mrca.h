@@ -23,6 +23,7 @@
 #include "core/analysis/deviation.h"    // IWYU pragma: export
 #include "core/analysis/efficiency.h"   // IWYU pragma: export
 #include "core/analysis/lemmas.h"       // IWYU pragma: export
+#include "core/analysis/metrics.h"      // IWYU pragma: export
 #include "core/analysis/nash.h"         // IWYU pragma: export
 #include "core/analysis/pareto.h"       // IWYU pragma: export
 #include "core/ext/energy.h"            // IWYU pragma: export

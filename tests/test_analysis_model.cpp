@@ -1,0 +1,344 @@
+// The ported analysis layer (PR 4): every GameModel entry point of nash.h /
+// efficiency.h / pareto.h / lemmas.h / distributed.h must agree with the
+// pre-port homogeneous Game path BIT-FOR-BIT on homogeneous inputs (the
+// memoized tables are exact, the DP/scanner is shared), and the
+// model-generic enumeration must respect per-user budgets exactly so it can
+// serve as ground truth for energy / heterogeneous / budget models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "mrca.h"
+
+namespace mrca {
+namespace {
+
+std::shared_ptr<const RateFunction> decaying_rate() {
+  return std::make_shared<PowerLawRate>(1.0, 1.0);
+}
+
+Game make_game(std::size_t users, std::size_t channels, RadioCount radios) {
+  return Game(GameConfig(users, channels, radios), decaying_rate());
+}
+
+GameModel energy_model(std::size_t users, std::size_t channels,
+                       RadioCount radios, double cost) {
+  return GameModel(GameConfig(users, channels, radios), decaying_rate(),
+                   cost);
+}
+
+GameModel het_model(std::size_t users, std::size_t channels,
+                    RadioCount radios) {
+  std::vector<std::shared_ptr<const RateFunction>> rates;
+  for (ChannelId c = 0; c < channels; ++c) {
+    rates.push_back(std::make_shared<ConstantRate>(
+        static_cast<double>(channels - c)));
+  }
+  return GameModel(channels, std::vector<RadioCount>(users, radios),
+                   std::move(rates));
+}
+
+GameModel budget_model(std::size_t channels,
+                       std::vector<RadioCount> budgets) {
+  return GameModel(channels, std::move(budgets), {decaying_rate()});
+}
+
+/// Ground-truth Nash check straight from Definition 1: enumerate every
+/// budget-feasible alternative row of every user and compare utilities.
+/// No DP, no scanner — the reference the fast paths are audited against.
+bool oracle_is_nash(const GameModel& model, const StrategyMatrix& strategies,
+                    double tolerance = kUtilityTolerance) {
+  for (UserId i = 0; i < model.num_users(); ++i) {
+    const double current = model.utility(strategies, i);
+    for (const auto& row :
+         enumerate_strategy_rows(model.num_channels(), model.budget(i))) {
+      StrategyMatrix deviated = strategies;
+      deviated.set_row(i, row);
+      if (model.utility(deviated, i) > current + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+TEST(AnalysisParity, NashCheckersAgreeOnEveryTinyMatrix) {
+  const Game game = make_game(3, 3, 2);
+  const GameModel model(game);
+  std::size_t disagreement_budget = 0;
+  for_each_strategy_matrix(game.config(), [&](const StrategyMatrix& s) {
+    EXPECT_EQ(is_nash_equilibrium(game, s), is_nash_equilibrium(model, s))
+        << s.key();
+    EXPECT_EQ(is_single_move_stable(game, s), is_single_move_stable(model, s))
+        << s.key();
+    const auto game_violation = find_nash_violation(game, s);
+    const auto model_violation = find_nash_violation(model, s);
+    EXPECT_EQ(game_violation.has_value(), model_violation.has_value())
+        << s.key();
+    if (game_violation && model_violation) {
+      EXPECT_EQ(game_violation->user, model_violation->user);
+      // Bit-parity: the shared DP fed bit-identical rate values must make
+      // bit-identical choices and values.
+      EXPECT_EQ(game_violation->better_strategy,
+                model_violation->better_strategy);
+      EXPECT_EQ(game_violation->current_utility,
+                model_violation->current_utility);
+      EXPECT_EQ(game_violation->better_utility,
+                model_violation->better_utility);
+      ++disagreement_budget;
+    }
+    return true;
+  });
+  EXPECT_GT(disagreement_budget, 0u);  // the walk saw non-equilibria too
+}
+
+TEST(AnalysisParity, EfficiencyFunctionsAreBitIdentical) {
+  for (const auto& [users, channels, radios] :
+       {std::tuple<std::size_t, std::size_t, RadioCount>{4, 3, 2},
+        {5, 4, 1},
+        {6, 5, 3}}) {
+    const Game game = make_game(users, channels, radios);
+    const GameModel model(game);
+    EXPECT_EQ(nash_welfare(game), nash_welfare(model));
+    EXPECT_EQ(price_of_anarchy(game), price_of_anarchy(model));
+    Rng rng(7);
+    const StrategyMatrix s = random_full_allocation(game, rng);
+    EXPECT_EQ(utility_fairness(game, s), utility_fairness(model, s));
+    EXPECT_EQ(welfare_efficiency(game, s), welfare_efficiency(model, s));
+    EXPECT_EQ(load_imbalance(s), load_imbalance(model, s));
+  }
+}
+
+TEST(AnalysisParity, ParetoCheckersAgreeOnEveryTinyMatrix) {
+  const Game game = make_game(2, 3, 2);
+  const GameModel model(game);
+  for_each_strategy_matrix(game.config(), [&](const StrategyMatrix& s) {
+    EXPECT_EQ(is_pareto_optimal(game, s), is_pareto_optimal(model, s))
+        << s.key();
+    EXPECT_EQ(welfare_certifies_pareto(game, s),
+              welfare_certifies_pareto(model, s))
+        << s.key();
+    return true;
+  });
+}
+
+TEST(AnalysisParity, NashEnumerationsMatch) {
+  const Game game = make_game(3, 3, 1);
+  const GameModel model(game);
+  const auto from_game = enumerate_nash_equilibria(game);
+  const auto from_model = enumerate_nash_equilibria(model);
+  ASSERT_EQ(from_game.size(), from_model.size());
+  for (std::size_t i = 0; i < from_game.size(); ++i) {
+    EXPECT_EQ(from_game[i].key(), from_model[i].key());
+  }
+  EXPECT_GT(from_game.size(), 0u);
+}
+
+TEST(AnalysisParity, DistributedProtocolWalksTheSameTrajectory) {
+  // The Game overload is a view over the model path; same seed, same
+  // rounds, same moves, same final matrix — bit for bit.
+  const Game game = make_game(6, 4, 2);
+  const GameModel model(game);
+  Rng game_rng(123);
+  Rng model_rng(123);
+  DistributedOptions options;
+  options.activation_probability = 0.5;
+  Rng start_rng(9);
+  const StrategyMatrix start = random_full_allocation(game, start_rng);
+  const DistributedResult via_game =
+      run_distributed_allocation(game, start, options, game_rng);
+  const DistributedResult via_model =
+      run_distributed_allocation(model, start, options, model_rng);
+  EXPECT_EQ(via_game.converged, via_model.converged);
+  EXPECT_EQ(via_game.rounds, via_model.rounds);
+  EXPECT_EQ(via_game.total_moves, via_model.total_moves);
+  EXPECT_EQ(via_game.final_state.key(), via_model.final_state.key());
+}
+
+TEST(AnalysisParity, GreedyAllocationMatchesTheRetiredBespokeLoop) {
+  // The bespoke HeterogeneousGame allocator was folded into the shared
+  // sequential driver (PlacementRule::kBestMarginal); this re-implements
+  // the retired loop as the oracle and demands identical matrices.
+  std::vector<std::shared_ptr<const RateFunction>> rates = {
+      std::make_shared<ConstantRate>(3.0),
+      std::make_shared<ConstantRate>(1.0),
+      std::make_shared<PowerLawRate>(2.0, 0.5),
+      std::make_shared<GeometricDecayRate>(1.5, 0.8)};
+  const GameConfig config(5, 4, 2);
+  const HeterogeneousGame game(config, rates);
+  const GameModel& model = game.model();
+
+  StrategyMatrix expected(config);
+  for (UserId user = 0; user < config.num_users; ++user) {
+    for (RadioCount j = 0; j < config.radios_per_user; ++j) {
+      ChannelId best_channel = 0;
+      double best_marginal = -1.0;
+      for (ChannelId c = 0; c < config.num_channels; ++c) {
+        const RadioCount load = expected.channel_load(c) + 1;
+        const RadioCount own = expected.at(user, c) + 1;
+        const double after = static_cast<double>(own) /
+                             static_cast<double>(load) * model.rate(c, load);
+        const double before =
+            expected.at(user, c) > 0
+                ? static_cast<double>(expected.at(user, c)) /
+                      static_cast<double>(expected.channel_load(c)) *
+                      model.rate(c, expected.channel_load(c))
+                : 0.0;
+        if (after - before > best_marginal) {
+          best_marginal = after - before;
+          best_channel = c;
+        }
+      }
+      expected.add_radio(user, best_channel);
+    }
+  }
+  EXPECT_EQ(game.greedy_allocation().key(), expected.key());
+}
+
+TEST(ModelSequential, PlaceOneRadioEnforcesTheUsersOwnBudget) {
+  // The matrix cap alone only bounds users by the LARGEST budget; the
+  // model-path placement must refuse the (budget+1)-th radio loudly.
+  const GameModel model = budget_model(3, {1, 3});
+  StrategyMatrix s = model.empty_strategy();
+  EXPECT_NO_THROW(place_one_radio(model, s, /*user=*/0));
+  EXPECT_THROW(place_one_radio(model, s, /*user=*/0), std::logic_error);
+  EXPECT_EQ(s.user_total(0), 1);  // the refused radio never landed
+  EXPECT_NO_THROW(place_one_radio(model, s, /*user=*/1));
+}
+
+TEST(ModelEnumeration, RespectsPerUserBudgetsExactly) {
+  const GameModel model = budget_model(3, {1, 2});
+  std::size_t visited = 0;
+  for_each_strategy_matrix(model, [&](const StrategyMatrix& s) {
+    ++visited;
+    EXPECT_LE(s.user_total(0), 1);
+    EXPECT_LE(s.user_total(1), 2);
+    return true;
+  });
+  // binom(1+3,3) * binom(2+3,3) = 4 * 10.
+  EXPECT_EQ(visited, 40u);
+  EXPECT_EQ(strategy_space_size(model), 40.0);
+  EXPECT_EQ(strategy_space_size(model, /*full_deployment_only=*/true),
+            3.0 * 6.0);
+}
+
+TEST(ModelOracle, DpNashCheckerMatchesEnumerationOnEveryScenarioKind) {
+  // The acceptance criterion's oracle leg: on tiny cells of all four
+  // scenario kinds, the DP-based checker must agree with brute-force
+  // Definition 1 on EVERY feasible matrix.
+  const Game base = make_game(2, 2, 1);
+  const std::vector<GameModel> models = {
+      GameModel(base),                 // base
+      energy_model(2, 2, 1, 0.35),     // energy-priced
+      het_model(2, 3, 1),              // heterogeneous band
+      budget_model(2, {1, 2}),         // mixed budgets
+  };
+  for (const GameModel& model : models) {
+    std::size_t equilibria = 0;
+    for_each_strategy_matrix(model, [&](const StrategyMatrix& s) {
+      const bool exact = oracle_is_nash(model, s);
+      EXPECT_EQ(model.is_nash_equilibrium(s), exact) << s.key();
+      if (exact) ++equilibria;
+      return true;
+    });
+    EXPECT_GT(equilibria, 0u);
+  }
+}
+
+TEST(ModelOracle, ParetoEnumerationConsistentWithWelfareCertificate) {
+  const std::vector<GameModel> models = {
+      energy_model(2, 2, 1, 0.2),
+      het_model(2, 3, 1),
+      budget_model(2, {1, 2}),
+  };
+  for (const GameModel& model : models) {
+    for_each_strategy_matrix(model, [&](const StrategyMatrix& s) {
+      if (welfare_certifies_pareto(model, s)) {
+        // The certificate is sufficient: certified matrices must pass the
+        // exhaustive check.
+        EXPECT_TRUE(is_pareto_optimal(model, s)) << s.key();
+      }
+      return true;
+    });
+  }
+}
+
+TEST(ModelTheorem1, HomogeneousModelsMatchThePrintedPredicate) {
+  const Game game = make_game(3, 3, 2);
+  const GameModel model(game);
+  for_each_strategy_matrix(game.config(), [&](const StrategyMatrix& s) {
+    const Theorem1Result printed = check_theorem1(s);
+    const Theorem1Result via_model = check_theorem1(model, s);
+    EXPECT_EQ(printed.applicable, via_model.applicable);
+    EXPECT_EQ(printed.predicts_nash(), via_model.predicts_nash()) << s.key();
+    return true;
+  });
+}
+
+TEST(ModelTheorem1, BrokenPreconditionsAreNamedNotGuessed) {
+  const GameModel energy = energy_model(3, 3, 1, 0.5);
+  const GameModel het = het_model(3, 3, 1);
+  const GameModel budgets = budget_model(3, {1, 3});
+  for (const GameModel* model : {&energy, &het, &budgets}) {
+    EXPECT_FALSE(theorem1_preconditions_hold(*model));
+    const Theorem1Result result =
+        check_theorem1(*model, model->empty_strategy());
+    EXPECT_FALSE(result.applicable);
+    EXPECT_FALSE(result.predicts_nash());
+    ASSERT_FALSE(result.violations.empty());
+    EXPECT_NE(result.violations.front().detail.find("homogeneous"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(theorem1_preconditions_hold(GameModel(make_game(3, 3, 1))));
+}
+
+TEST(ModelLemma1, MeasuresEachUserAgainstTheirOwnBudget) {
+  const GameModel model = budget_model(3, {1, 3});
+  StrategyMatrix s = model.empty_strategy();
+  s.add_radio(0, 0);        // user 0: 1 of 1 — satisfied
+  s.add_radio(1, 1);        // user 1: 1 of 3 — violated
+  const auto violations = lemma1_violations(model, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].user, 1u);
+  EXPECT_NE(violations[0].detail.find("1 of 3"), std::string::npos);
+}
+
+TEST(ModelEfficiency, NashWelfareFallsBackToAnExactEquilibrium) {
+  // Energy-priced model: the Theorem-1 closed form does not apply; the
+  // fallback must report the welfare of a VERIFIED equilibrium, not the
+  // homogeneous formula's fiction.
+  const GameModel model = energy_model(3, 3, 2, 0.6);
+  const double at_nash = nash_welfare(model);
+  ASSERT_FALSE(std::isnan(at_nash));
+  // Reproduce the canonical equilibrium the fallback reaches.
+  const StrategyMatrix start = sequential_allocation(model);
+  const DynamicsResult dynamics = run_response_dynamics(model, start);
+  ASSERT_TRUE(dynamics.converged);
+  ASSERT_TRUE(model.is_nash_equilibrium(dynamics.final_state));
+  EXPECT_EQ(at_nash, model.welfare(dynamics.final_state));
+  // And the closed form would have lied: it prices no radio, the
+  // equilibrium parks some (deployment is partial at this cost).
+  EXPECT_LT(dynamics.final_state.total_deployed(),
+            model.config().total_radios());
+}
+
+TEST(ModelEfficiency, PriceOfAnarchyIsNaNWhenTheSpectrumGoesDark) {
+  // Cost above R(1): every equilibrium parks everything, welfare 0 — PoA
+  // undefined, never a fabricated number.
+  const GameModel model = energy_model(2, 2, 1, 5.0);
+  EXPECT_TRUE(std::isnan(price_of_anarchy(model)));
+}
+
+TEST(ModelEfficiency, LoadImbalanceCountsEmptyAllocatableChannels) {
+  // Budget cell with fewer radios than channels: the empty channel could
+  // have been used, so it must count toward imbalance in both overloads.
+  const GameModel model = budget_model(3, {1, 1});
+  StrategyMatrix s = model.empty_strategy();
+  s.add_radio(0, 0);
+  s.add_radio(1, 0);
+  EXPECT_EQ(load_imbalance(model, s), 2);
+  EXPECT_EQ(load_imbalance(s), 2);
+}
+
+}  // namespace
+}  // namespace mrca

@@ -19,9 +19,14 @@ struct CliResult {
 };
 
 CliResult run_cli(const std::string& args) {
-  // Quote the binary path: build directories may contain spaces.
-  const std::string command =
-      "\"" + std::string(MRCA_CLI_PATH) + "\" " + args + " 2>&1";
+  // Quote the binary path: build directories may contain spaces. (Built up
+  // with += — the one-expression concat chain trips GCC 12's -Wrestrict
+  // false positive once inlined.)
+  std::string command = "\"";
+  command += MRCA_CLI_PATH;
+  command += "\" ";
+  command += args;
+  command += " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return {};
   CliResult result;
@@ -138,6 +143,52 @@ TEST(CliGoldenJson, SimTierOutputIsStrictJson) {
   EXPECT_NE(result.output.find("\"sim_gap\""), std::string::npos);
   std::string why;
   EXPECT_TRUE(mrca::testing::is_strict_json(result.output, &why)) << why;
+}
+
+TEST(CliMetrics, UnknownMetricNamesTheFlagAndExits2) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --metrics garbage");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--metrics"), std::string::npos);
+  EXPECT_NE(result.output.find("garbage"), std::string::npos);
+  // The error teaches the registry.
+  EXPECT_NE(result.output.find("welfare_eff"), std::string::npos);
+}
+
+TEST(CliMetrics, MetricColumnsAppearInCsvAndStayStrictInJson) {
+  const std::string common =
+      "sweep --users 3,4 --channels 3 --radios 1 "
+      "--scenario \"energy=0.1,0.3\" --metrics nash,poa,welfare_eff,theorem1 "
+      "--replicates 2 --seed 11";
+  const CliResult csv = run_cli(common + " --format csv");
+  ASSERT_EQ(csv.exit_code, 0);
+  EXPECT_NE(csv.output.find("nash_ne_mean"), std::string::npos);
+  EXPECT_NE(csv.output.find("poa_mean"), std::string::npos);
+  EXPECT_NE(csv.output.find("theorem1_predicts_nash_mean"),
+            std::string::npos);
+  const CliResult json = run_cli(common + " --format json");
+  ASSERT_EQ(json.exit_code, 0);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(json.output, &why)) << why;
+  EXPECT_NE(json.output.find("\"metrics\":{"), std::string::npos);
+  const CliResult table = run_cli(common + " --format table");
+  ASSERT_EQ(table.exit_code, 0);
+  EXPECT_NE(table.output.find("nash_ne"), std::string::npos);
+}
+
+TEST(CliMetrics, MetricsCsvIsIdenticalAcrossThreadCounts) {
+  // The acceptance criterion, end to end through the real binary: metric
+  // columns over a scenario sweep, byte-identical at any thread count.
+  const std::string common =
+      "sweep --users 3,4 --channels 3 --radios 1 "
+      "--scenario \"energy=0.1,0.3;het=2:1;budgets=1:2\" "
+      "--metrics nash,poa,welfare_eff,theorem1,distributed "
+      "--replicates 2 --seed 11 --format csv";
+  const CliResult one = run_cli(common + " --threads 1");
+  const CliResult eight = run_cli(common + " --threads 8");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(eight.exit_code, 0);
+  EXPECT_EQ(one.output, eight.output);
 }
 
 TEST(CliDeterminism, SimTierCsvIsIdenticalAcrossThreadCounts) {

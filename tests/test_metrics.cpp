@@ -1,0 +1,313 @@
+// The pluggable MetricSet API (core/analysis/metrics.h) and its sweep
+// integration: registry behavior, built-in metric correctness against
+// enumeration oracles on every scenario kind, NaN-as-undefined handling,
+// dynamic columns in all three writers, and thread-count determinism.
+#include "core/analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "mrca.h"
+#include "strict_json.h"
+
+namespace mrca {
+namespace {
+
+using engine::ScenarioSpec;
+using engine::SweepOptions;
+using engine::SweepResult;
+using engine::SweepSpec;
+using engine::SweepStart;
+
+std::shared_ptr<const RateFunction> decaying_rate() {
+  return std::make_shared<PowerLawRate>(1.0, 1.0);
+}
+
+/// A finished deterministic run on `model`: Algorithm-1 start, round-robin
+/// best-response play — the same canonical context the sweep hands metrics.
+struct FinishedRun {
+  StrategyMatrix start;
+  DynamicsResult dynamics;
+
+  explicit FinishedRun(const GameModel& model)
+      : start(sequential_allocation(model)),
+        dynamics(run_response_dynamics(model, start)) {}
+
+  MetricContext context(const GameModel& model,
+                        std::uint64_t seed = 42) const {
+    return MetricContext{model, start, dynamics, seed};
+  }
+};
+
+TEST(MetricSet, ParseListBuildsOrderedColumns) {
+  const MetricSet set = MetricSet::parse_list("nash,poa,welfare_eff");
+  EXPECT_EQ(set.size(), 3u);
+  const std::vector<std::string> expected = {"nash_ne", "nash_welfare",
+                                             "poa", "welfare_eff"};
+  EXPECT_EQ(set.column_names(), expected);
+  EXPECT_EQ(set.num_columns(), 4u);
+}
+
+TEST(MetricSet, ParseListRejectsUnknownDuplicateAndEmpty) {
+  EXPECT_THROW(MetricSet::parse_list("garbage"), std::invalid_argument);
+  EXPECT_THROW(MetricSet::parse_list("nash,nash"), std::invalid_argument);
+  EXPECT_THROW(MetricSet::parse_list(""), std::invalid_argument);
+  EXPECT_THROW(MetricSet::parse_list("nash,,poa"), std::invalid_argument);
+  // The unknown-name error lists the available registry.
+  try {
+    MetricSet::parse_list("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("theorem1"), std::string::npos);
+  }
+}
+
+TEST(MetricSet, EveryBuiltinParsesAloneAndTogether) {
+  std::string all;
+  for (const Metric& metric : MetricSet::builtins()) {
+    EXPECT_EQ(MetricSet::parse_list(metric.name).size(), 1u);
+    if (!all.empty()) all += ',';
+    all += metric.name;
+  }
+  const MetricSet set = MetricSet::parse_list(all);
+  EXPECT_EQ(set.size(), MetricSet::builtins().size());
+}
+
+TEST(MetricSet, AddRejectsColumnCollisions) {
+  MetricSet set = MetricSet::parse_list("nash");
+  Metric clashing{"custom", {"nash_ne"}, [](const MetricContext&) {
+                    return std::vector<double>{0.0};
+                  }};
+  EXPECT_THROW(set.add(std::move(clashing)), std::invalid_argument);
+}
+
+TEST(MetricSet, CustomMetricPlugsInLikeABuiltin) {
+  // The plug-in seam: a user metric registers next to built-ins and is
+  // computed with the same context.
+  MetricSet set = MetricSet::parse_list("nash");
+  set.add(Metric{"occupancy",
+                 {"occupied_channels"},
+                 [](const MetricContext& context) {
+                   return std::vector<double>{static_cast<double>(
+                       context.dynamics.final_state.occupied_channels()
+                           .size())};
+                 }});
+  const GameModel model(Game(GameConfig(3, 3, 1), decaying_rate()));
+  const FinishedRun run(model);
+  const auto values = set.compute(run.context(model));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 1.0);  // Algorithm 1 + dynamics reach a NE
+  EXPECT_EQ(values[1], 3.0);  // all three channels occupied
+}
+
+TEST(MetricSet, ComputeChecksArity) {
+  MetricSet set;
+  set.add(Metric{"broken", {"a", "b"}, [](const MetricContext&) {
+                   return std::vector<double>{1.0};
+                 }});
+  const GameModel model(Game(GameConfig(2, 2, 1), decaying_rate()));
+  const FinishedRun run(model);
+  EXPECT_THROW(set.compute(run.context(model)), std::logic_error);
+}
+
+/// The four scenario kinds the acceptance criterion names, as tiny models.
+/// The base cell sits in the conflict regime (4 > 3) so the printed
+/// Theorem 1 predicate is applicable there.
+std::vector<GameModel> tiny_models_of_every_kind() {
+  std::vector<GameModel> models;
+  models.push_back(GameModel(Game(GameConfig(4, 3, 1), decaying_rate())));
+  models.push_back(
+      GameModel(GameConfig(3, 3, 1), decaying_rate(), /*cost=*/0.3));
+  models.push_back(ScenarioSpec::parse("het=2:1").make_model(
+      3, 3, 1, decaying_rate()));
+  models.push_back(ScenarioSpec::parse("budgets=1:2").make_model(
+      3, 3, 1, decaying_rate()));
+  return models;
+}
+
+TEST(BuiltinMetrics, NashAndTheorem1MatchTheEnumerationOracle) {
+  // Acceptance: nash / theorem1 verified against enumeration oracles on
+  // small cells for all four scenario kinds.
+  const MetricSet set = MetricSet::parse_list("nash,single_move,theorem1");
+  for (const GameModel& model : tiny_models_of_every_kind()) {
+    // Ground truth: the full equilibrium set by brute force.
+    std::set<std::string> equilibria;
+    for (const StrategyMatrix& ne : enumerate_nash_equilibria(model)) {
+      equilibria.insert(ne.key());
+    }
+    ASSERT_FALSE(equilibria.empty());
+    const FinishedRun run(model);
+    ASSERT_TRUE(run.dynamics.converged);
+    const bool oracle_says_nash =
+        equilibria.count(run.dynamics.final_state.key()) > 0;
+    const auto values = set.compute(run.context(model));
+    ASSERT_EQ(values.size(), 5u);
+    EXPECT_EQ(values[0], oracle_says_nash ? 1.0 : 0.0);  // nash_ne
+    EXPECT_EQ(values[1], 1.0);  // a NE is single-move stable a fortiori
+    // theorem1: the verdict must agree with the oracle — via the printed
+    // predicate inside its regime, via the exact fallback outside it.
+    const bool homogeneous = theorem1_preconditions_hold(model);
+    EXPECT_EQ(values[2], homogeneous ? 1.0 : 0.0);  // theorem1_applicable
+    EXPECT_EQ(values[3], oracle_says_nash ? 1.0 : 0.0);
+    EXPECT_EQ(values[4], homogeneous ? 0.0 : 1.0);  // exact_fallback
+  }
+}
+
+TEST(BuiltinMetrics, PoaIsClosedFormWhenHomogeneousAndExactOtherwise) {
+  const Game game(GameConfig(4, 3, 2), decaying_rate());
+  const GameModel homogeneous(game);
+  const FinishedRun run(homogeneous);
+  const auto values =
+      MetricSet::parse_list("poa").compute(run.context(homogeneous));
+  EXPECT_EQ(values[0], nash_welfare(game));
+  EXPECT_EQ(values[1], price_of_anarchy(game));
+
+  // Energy model: the fallback equilibrium's welfare, not the closed form.
+  const GameModel energy(GameConfig(3, 3, 2), decaying_rate(), 0.6);
+  const FinishedRun energy_run(energy);
+  const auto energy_values =
+      MetricSet::parse_list("poa").compute(energy_run.context(energy));
+  EXPECT_EQ(energy_values[0], nash_welfare(energy));
+  EXPECT_NE(energy_values[0], nash_welfare(Game(energy.config(),
+                                                decaying_rate())));
+}
+
+TEST(BuiltinMetrics, UndefinedValuesAreNaNNotFabricated) {
+  // Cost above R(1): spectrum dark, NE welfare 0, PoA undefined.
+  const GameModel dark(GameConfig(2, 2, 1), decaying_rate(), 5.0);
+  const FinishedRun run(dark);
+  const auto values =
+      MetricSet::parse_list("poa").compute(run.context(dark));
+  EXPECT_EQ(values[0], 0.0);          // nash_welfare: genuinely zero
+  EXPECT_TRUE(std::isnan(values[1]));  // poa: undefined, not 0 or inf
+}
+
+TEST(BuiltinMetrics, ParetoFallsBackToCertificateBeyondEnumerationScale) {
+  // 64 users x 8 channels x 2 radios: ~binom(10,8)^64 matrices — far past
+  // the enumeration guard. The welfare certificate must still settle
+  // certified states, and uncertified ones must come back NaN, not hang.
+  const GameModel big(GameConfig(64, 8, 2), decaying_rate());
+  const FinishedRun run(big);
+  const auto values =
+      MetricSet::parse_list("pareto").compute(run.context(big));
+  if (values[1] == 1.0) {
+    EXPECT_EQ(values[0], 1.0);
+  } else {
+    EXPECT_TRUE(std::isnan(values[0]));
+  }
+}
+
+TEST(BuiltinMetrics, DistributedIsAPureFunctionOfTheSeed) {
+  const GameModel model(Game(GameConfig(5, 4, 2), decaying_rate()));
+  const FinishedRun run(model);
+  const MetricSet set = MetricSet::parse_list("distributed");
+  const auto first = set.compute(run.context(model, 77));
+  const auto second = set.compute(run.context(model, 77));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 1.0);  // converges on this small cell
+  EXPECT_GE(first[1], 1.0);  // at least the terminating round
+}
+
+// ---------------------------------------------------------------- sweep --
+
+SweepSpec metric_sweep_spec() {
+  SweepSpec spec;
+  spec.users = {3, 4};
+  spec.channels = {3};
+  spec.radios = {1};
+  spec.scenarios = ScenarioSpec::parse_list(
+      "base;energy=0.1,0.3;het=2:1;budgets=1:2");
+  spec.metrics = MetricSet::parse_list("nash,poa,welfare_eff,theorem1");
+  spec.replicates = 2;
+  spec.base_seed = 17;
+  return spec;
+}
+
+TEST(MetricSweep, ColumnsFlowThroughAllThreeWriters) {
+  const SweepResult result = engine::run_sweep(metric_sweep_spec());
+  ASSERT_EQ(result.metric_columns.size(), 7u);
+  for (const auto& cell : result.cells) {
+    ASSERT_EQ(cell.metric_stats.size(), 7u);
+  }
+
+  const std::string csv = engine::sweep_to_csv(result);
+  EXPECT_NE(csv.find("nash_ne_mean,nash_ne_count"), std::string::npos);
+  EXPECT_NE(csv.find("poa_mean"), std::string::npos);
+  EXPECT_NE(csv.find("theorem1_exact_fallback_mean"), std::string::npos);
+
+  const std::string json = engine::sweep_to_json(result);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"welfare_eff\":{"), std::string::npos);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(json, &why)) << why;
+
+  const std::string table = engine::sweep_to_table(result);
+  EXPECT_NE(table.find("nash_ne"), std::string::npos);
+  EXPECT_NE(table.find("poa"), std::string::npos);
+}
+
+TEST(MetricSweep, WithoutMetricsTheOutputIsUnchanged) {
+  SweepSpec spec = metric_sweep_spec();
+  spec.metrics = MetricSet{};
+  const SweepResult result = engine::run_sweep(spec);
+  EXPECT_TRUE(result.metric_columns.empty());
+  const std::string csv = engine::sweep_to_csv(result);
+  EXPECT_EQ(csv.find("nash_ne"), std::string::npos);
+  const std::string json = engine::sweep_to_json(result);
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(MetricSweep, ConvergedRunsScoreAsEquilibriaOnEveryScenarioKind) {
+  const SweepResult result = engine::run_sweep(metric_sweep_spec());
+  // Column order: nash_ne, nash_welfare, poa, welfare_eff, theorem1_*.
+  for (const auto& cell : result.cells) {
+    ASSERT_EQ(cell.converged, cell.runs) << cell.cell.scenario.name();
+    EXPECT_EQ(cell.metric_stats[0].mean(), 1.0)
+        << cell.cell.scenario.name();
+    EXPECT_EQ(cell.metric_stats[0].count(), cell.runs);
+    // theorem1's verdict agrees: predicted NE everywhere it converged.
+    EXPECT_EQ(cell.metric_stats[5].mean(), 1.0)
+        << cell.cell.scenario.name();
+  }
+}
+
+TEST(MetricSweep, NaNSamplesAreSkippedWithHonestCounts) {
+  SweepSpec spec;
+  spec.users = {2};
+  spec.channels = {2};
+  spec.radios = {1};
+  // Cost above R(1): poa is NaN on every run — count 0, CSV prints nan.
+  spec.scenarios = {ScenarioSpec::parse("energy=5")};
+  spec.metrics = MetricSet::parse_list("poa");
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].metric_stats[1].count(), 0u);  // poa column
+  const std::string csv = engine::sweep_to_csv(result);
+  EXPECT_NE(csv.find(",nan,0"), std::string::npos);
+  // ... and the JSON stays strict (null, not nan literals).
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(engine::sweep_to_json(result),
+                                            &why))
+      << why;
+}
+
+TEST(MetricSweep, BitIdenticalAcrossThreadCounts) {
+  SweepSpec spec = metric_sweep_spec();
+  // Include the stochastic metric: its per-run seed is pure, so even the
+  // distributed protocol must not smear across thread counts.
+  spec.metrics = MetricSet::parse_list(
+      "nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,"
+      "distributed");
+  const SweepResult one = engine::run_sweep(spec, SweepOptions{1});
+  const SweepResult eight = engine::run_sweep(spec, SweepOptions{8});
+  EXPECT_EQ(engine::sweep_to_csv(one), engine::sweep_to_csv(eight));
+  EXPECT_EQ(engine::sweep_to_json(one), engine::sweep_to_json(eight));
+}
+
+}  // namespace
+}  // namespace mrca

@@ -20,6 +20,8 @@
 //   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>  scenario axis
 //                                               (',' lists values, ';'
 //                                               separates kinds)
+//   --metrics nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,
+//             distributed                       per-run analysis columns
 //   --granularity best|single|random-move       comma list
 //   --order rr|random                           comma list
 //   --start empty|random|partial|ne             comma list
@@ -59,6 +61,7 @@ struct CliOptions {
   std::string granularity_list = "best";
   std::string order_list = "rr";
   std::string start_list = "random";
+  std::string metrics_list;  ///< empty = no metric columns
   std::size_t replicates = 1;
   std::size_t threads = 1;
   std::size_t max_activations = 100000;
@@ -84,7 +87,8 @@ struct CliOptions {
       "  rates    [--max-k K]\n"
       "  simulate N C k [--rate R] [--seed S] [--seconds T]\n"
       "  sweep    [--users L] [--channels L] [--radios L] [--rates L]\n"
-      "           [--scenario S] [--granularity L] [--order L] [--start L]\n"
+      "           [--scenario S] [--metrics M] [--granularity L]\n"
+      "           [--order L] [--start L]\n"
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
       "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
@@ -93,7 +97,11 @@ struct CliOptions {
       "                         | geom=<decay> | linear=<slope>\n"
       "scenarios (sweep):  base | energy=<cost,..> | het=<scale:scale,..>\n"
       "                  | budgets=<k:k:..,..>   (';' separates kinds, e.g.\n"
-      "                  --scenario \"energy=0.1,0.3;het=2:1;budgets=1:4\")\n";
+      "                  --scenario \"energy=0.1,0.3;het=2:1;budgets=1:4\")\n"
+      "metrics (sweep):    comma list of nash | single_move | theorem1\n"
+      "                  | poa | welfare_eff | pareto | fairness\n"
+      "                  | distributed, evaluated per run and emitted as\n"
+      "                  extra columns in every format\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -191,6 +199,8 @@ CliOptions parse_options(int argc, char** argv, int first) {
         options.scenario_list = value;
         options.scenario_given = true;
       }
+    } else if (arg == "--metrics") {
+      options.metrics_list = need_value(arg);
     } else if (arg == "--granularity") {
       options.granularity_list = need_value(arg);
     } else if (arg == "--order") {
@@ -427,6 +437,13 @@ int cmd_sweep(const CliOptions& options) {
   }
   spec.rates = parse_enum_list(options.rates_list, parse_rate_spec);
   spec.scenarios = engine::ScenarioSpec::parse_list(options.scenario_list);
+  if (!options.metrics_list.empty()) {
+    try {
+      spec.metrics = MetricSet::parse_list(options.metrics_list);
+    } catch (const std::invalid_argument& error) {
+      usage(std::string(error.what()) + " for --metrics");
+    }
+  }
   spec.granularities =
       parse_enum_list(options.granularity_list, parse_granularity);
   spec.orders = parse_enum_list(options.order_list, parse_order);
