@@ -108,6 +108,40 @@ void BM_MetricDistributed512(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricDistributed512)->Unit(benchmark::kMillisecond);
 
+void BM_MetricPoaPerReplicateNoCache512(benchmark::State& state) {
+  // A cell with 8 replicates, no cell cache: poa's exact-fallback
+  // equilibrium is recomputed per replicate — the cost the per-cell metric
+  // tier deletes.
+  const FinishedRun run("energy=0.1");
+  const MetricSet set = MetricSet::parse_list("poa");
+  for (auto _ : state) {
+    for (int replicate = 0; replicate < 8; ++replicate) {
+      const std::vector<double> values = set.compute(run.context());
+      benchmark::DoNotOptimize(values.data());
+    }
+  }
+}
+BENCHMARK(BM_MetricPoaPerReplicateNoCache512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MetricPoaPerCellCache512(benchmark::State& state) {
+  // Same 8 replicates through a shared CellMetricCache (what run_session
+  // attaches): the equilibrium is computed once per cell, replicates 2..8
+  // hit the memo.
+  const FinishedRun run("energy=0.1");
+  const MetricSet set = MetricSet::parse_list("poa");
+  for (auto _ : state) {
+    CellMetricCache cache;
+    for (int replicate = 0; replicate < 8; ++replicate) {
+      MetricContext context = run.context();
+      context.cell_cache = &cache;
+      const std::vector<double> values = set.compute(context);
+      benchmark::DoNotOptimize(values.data());
+    }
+  }
+}
+BENCHMARK(BM_MetricPoaPerCellCache512)->Unit(benchmark::kMillisecond);
+
 void BM_FullMetricSet512(benchmark::State& state) {
   // The whole registry per run — the worst-case per-task metric overhead a
   // sweep cell can ask for.

@@ -20,6 +20,19 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats RunningStats::from_state(std::size_t count, double mean,
+                                      double m2, double min,
+                                      double max) noexcept {
+  RunningStats stats;
+  if (count == 0) return stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

@@ -14,8 +14,19 @@ namespace mrca {
 class RunningStats {
  public:
   void add(double x) noexcept;
+  /// Chan-style parallel merge: folds `other` into this as if both sample
+  /// streams had been combined. Counts and extrema are exact; mean/variance
+  /// match a single sequential pass up to floating-point reassociation
+  /// (merge order changes the rounding, not the statistics).
   void merge(const RunningStats& other) noexcept;
   void reset() noexcept { *this = RunningStats{}; }
+
+  /// Reconstructs a stats object from serialized state — the exact inverse
+  /// of (count, mean, m2, min, max). With count == 0 the moment arguments
+  /// are ignored and the result equals a default-constructed object, so a
+  /// serialize → from_state → serialize round trip is byte-identical.
+  static RunningStats from_state(std::size_t count, double mean, double m2,
+                                 double min, double max) noexcept;
 
   std::size_t count() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
@@ -28,6 +39,9 @@ class RunningStats {
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
   double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  /// Raw second central moment (Welford's M2) — the state the sweep shard
+  /// writers serialize so a parsed aggregate reprints bit-identically.
+  double m2() const noexcept { return m2_; }
 
   /// Half-width of the two-sided normal-approximation confidence interval
   /// at the given confidence level (default 95%).

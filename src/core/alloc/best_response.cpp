@@ -42,8 +42,10 @@ bool activate(const GameModel& model, StrategyMatrix& strategies, UserId user,
               const DynamicsOptions& options, Rng* rng, UtilityCache* cache) {
   switch (options.granularity) {
     case ResponseGranularity::kBestResponse: {
+      // Raw units on both sides (cache tracks raw; the DP is weight-free):
+      // weighted models walk bit-identical trajectories to the base game.
       const double current =
-          cache ? cache->utility(user) : model.utility(strategies, user);
+          cache ? cache->utility(user) : model.raw_utility(strategies, user);
       BestResponse response = model.best_response(strategies, user);
       if (response.utility > current + options.tolerance) {
         if (cache) {
@@ -94,7 +96,9 @@ DynamicsResult run_response_dynamics(const GameModel& model,
   if (options.use_incremental_cache) cache.emplace(model, state);
   UtilityCache* cache_ptr = cache ? &*cache : nullptr;
   const auto current_welfare = [&] {
-    return cache_ptr ? cache_ptr->welfare() : model.welfare(state);
+    // Raw welfare on both paths: the trace measures the spectrum's
+    // throughput economy, not the operator's valuation of it.
+    return cache_ptr ? cache_ptr->welfare() : model.raw_welfare(state);
   };
   if (options.record_welfare_trace) {
     result.welfare_trace.push_back(current_welfare());

@@ -142,10 +142,12 @@ void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
 }
 
 double UtilityCache::max_drift(const StrategyMatrix& strategies) const {
-  double drift = std::abs(welfare_ - model_->welfare(strategies));
+  // The cache tracks RAW values (what dynamics decisions read); weighted
+  // models report through GameModel::welfare()/utilities() separately.
+  double drift = std::abs(welfare_ - model_->raw_welfare(strategies));
   for (UserId i = 0; i < strategies.num_users(); ++i) {
     drift = std::max(
-        drift, std::abs(utilities_[i] - model_->utility(strategies, i)));
+        drift, std::abs(utilities_[i] - model_->raw_utility(strategies, i)));
   }
   return drift;
 }

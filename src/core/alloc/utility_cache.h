@@ -4,8 +4,9 @@
 // The full recompute of U_i(S) is O(|C|) per user and welfare is O(|N|*|C|);
 // the dynamics touch at most two channel loads per activation, so almost all
 // of that work repeats unchanged values. UtilityCache keeps
-//   - every user's utility U_i (energy price included),
-//   - the social welfare sum_c R_c(k_c) - cost * deployed,
+//   - every user's RAW utility U_i (energy price included, valuation
+//     weights not — decisions are weight-free; see GameModel::raw_utility),
+//   - the raw social welfare sum_c R_c(k_c) - cost * deployed,
 //   - per-channel occupant lists (users with k_{i,c} > 0),
 // and updates them under single-radio deltas in O(occupants of the changed
 // channels) instead of re-deriving them from the whole matrix; rate lookups

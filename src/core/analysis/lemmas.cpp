@@ -45,8 +45,11 @@ std::vector<ConditionViolation> lemma1_violations(const GameModel& model,
 }
 
 bool theorem1_preconditions_hold(const GameModel& model) {
+  // Utility weights leave the equilibrium SET intact but break the "all NE
+  // share one welfare" argument (weighted welfare depends on which users
+  // sit where, not just on the load profile), so the closed forms abstain.
   return model.uniform_rates() && model.uniform_budgets() &&
-         model.radio_cost() == 0.0;
+         model.radio_cost() == 0.0 && !model.weighted();
 }
 
 std::vector<ConditionViolation> lemma2_violations(const StrategyMatrix& s) {

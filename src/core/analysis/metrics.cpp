@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/alloc/distributed.h"
+#include "core/alloc/utility_cache.h"
 #include "core/analysis/efficiency.h"
 #include "core/analysis/lemmas.h"
 #include "core/analysis/nash.h"
@@ -71,16 +72,16 @@ std::vector<Metric> make_builtins() {
 
   // NE welfare and the price of anarchy: Theorem 1 closed form when
   // homogeneous, deterministic exact equilibrium otherwise (efficiency.h).
-  // NOTE: the fallback is a function of the MODEL only, yet the metric API
-  // evaluates per run — a cell with R replicates computes the same
-  // equilibrium R times. Deliberate for now: contexts stay self-contained
-  // and thread-free; a per-cell metric tier is a ROADMAP candidate if this
-  // dominates a sweep (bench_metrics tracks it).
+  // The fallback is a function of the MODEL only, so it goes through the
+  // cell-scoped memo: a cell with R replicates computes the equilibrium
+  // once, not R times (bench_metrics quantifies the win). Standalone
+  // contexts (no cache attached) still compute inline.
   metrics.push_back(Metric{
       "poa",
       {"nash_welfare", "poa"},
       [](const MetricContext& context) {
-        const double at_nash = nash_welfare(context.model);
+        const double at_nash = context.model_value(
+            "nash_welfare", [&] { return nash_welfare(context.model); });
         const double poa = at_nash > 0.0
                                ? context.model.optimal_welfare() / at_nash
                                : kNaN;
@@ -122,6 +123,45 @@ std::vector<Metric> make_builtins() {
         return std::vector<double>{
             utility_fairness(context.model, state),
             context.model.budget_fairness(state)};
+      }});
+
+  // Convergence time to an epsilon-NE: deterministic round-robin
+  // best-response replay from the run's own start, reporting the number of
+  // activations after which the observed unilateral gain stays below
+  // epsilon = 1e-2 (0 when the start already is an epsilon-NE; once the
+  // replay converges, the closing quiet pass proves every gain is below
+  // tolerance <= epsilon for good). NaN if the replay exhausts its budget.
+  metrics.push_back(Metric{
+      "convergence",
+      {"eps_ne_time"},
+      [](const MetricContext& context) {
+        constexpr double kEpsilon = 1e-2;
+        constexpr std::size_t kMaxActivations = 100000;
+        const GameModel& model = context.model;
+        const std::size_t users = model.num_users();
+        StrategyMatrix state = context.start;
+        UtilityCache cache(model, state);
+        std::size_t activations = 0;
+        std::size_t last_above_eps = 0;
+        std::size_t quiet = 0;
+        UserId user = 0;
+        while (quiet < users) {
+          if (activations >= kMaxActivations) {
+            return std::vector<double>{kNaN};
+          }
+          ++activations;
+          const BestResponse response = model.best_response(state, user);
+          const double gain = response.utility - cache.utility(user);
+          if (gain >= kEpsilon) last_above_eps = activations;
+          if (gain > kUtilityTolerance) {
+            cache.set_row(state, user, response.strategy);
+            quiet = 0;
+          } else {
+            ++quiet;
+          }
+          user = (user + 1) % static_cast<UserId>(users);
+        }
+        return std::vector<double>{static_cast<double>(last_above_eps)};
       }});
 
   // The §3 distributed protocol replayed from the run's OWN start, on its

@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +35,37 @@
 #include "core/strategy.h"
 
 namespace mrca {
+
+/// Cell-scoped memo for model-only metric values. Some metric columns are
+/// pure functions of the MODEL (poa's exact-fallback equilibrium is the
+/// expensive one): every replicate of a cell would recompute the identical
+/// value. The sweep session shares one cache per cell across its
+/// replicates; replicates run on different workers, so the memo is
+/// thread-safe (the first caller computes under the lock, the rest read).
+/// Determinism is free: the memoized value is the same pure function of the
+/// model whichever replicate computes it first.
+class CellMetricCache {
+ public:
+  /// Returns the cached value for `key`, computing it (under the lock —
+  /// concurrent replicates block rather than duplicate the work) on first
+  /// use.
+  double memoize(const std::string& key,
+                 const std::function<double()>& compute) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = values_.find(key);
+    if (it == values_.end()) it = values_.emplace(key, compute()).first;
+    return it->second;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, double> values_;
+};
 
 /// Everything one metric evaluation may read.
 struct MetricContext {
@@ -51,6 +84,20 @@ struct MetricContext {
   const DynamicsResult& dynamics;
   /// Pure per-run seed for stochastic metrics.
   std::uint64_t seed;
+
+  /// Cell-scoped memo shared by every replicate of the cell, or null when
+  /// the caller evaluates contexts standalone. Set by the sweep session.
+  const CellMetricCache* cell_cache = nullptr;
+
+  /// Memoizes a MODEL-ONLY value in the cell cache (computed once per cell
+  /// no matter how many replicates ask); computes inline when no cache is
+  /// attached. `compute` must be a pure function of `model` — anything
+  /// depending on the run's start, dynamics or seed must NOT go through
+  /// here, or replicates would share a value that should differ.
+  double model_value(const std::string& key,
+                     const std::function<double()>& compute) const {
+    return cell_cache ? cell_cache->memoize(key, compute) : compute();
+  }
 
   /// The exact Definition-1 verdict on `dynamics.final_state`, computed at
   /// most once per context no matter how many metrics ask — the DP scan is
@@ -85,7 +132,7 @@ class MetricSet {
   MetricSet() = default;
 
   /// The built-in registry: nash, single_move, theorem1, poa, welfare_eff,
-  /// pareto, fairness, distributed.
+  /// pareto, fairness, convergence, distributed.
   static const std::vector<Metric>& builtins();
 
   /// Looks up one built-in; throws std::invalid_argument with the list of

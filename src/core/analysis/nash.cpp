@@ -36,7 +36,9 @@ std::optional<NashViolation> find_nash_violation(
     double tolerance) {
   model.validate(strategies);
   for (UserId user = 0; user < strategies.num_users(); ++user) {
-    const double current = model.utility(strategies, user);
+    // Raw units on both sides (the DP is weight-free): the violation
+    // verdict matches the base game's for any valuation weights.
+    const double current = model.raw_utility(strategies, user);
     BestResponse response = model.best_response(strategies, user);
     if (response.utility > current + tolerance) {
       return NashViolation{user, std::move(response.strategy), current,

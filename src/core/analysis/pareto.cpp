@@ -29,9 +29,12 @@ bool pareto_dominates(const GameModel& model, const StrategyMatrix& candidate,
                       const StrategyMatrix& incumbent, double tolerance) {
   model.validate(candidate);
   model.validate(incumbent);
+  // Raw per-user utilities: a positive weight scales both sides of every
+  // per-user comparison, so dominance is weight-invariant in exact
+  // arithmetic — raw units keep the tolerance margin invariant too.
   return dominates_impl(candidate, incumbent, tolerance,
                         [&](const StrategyMatrix& s, UserId i) {
-                          return model.utility(s, i);
+                          return model.raw_utility(s, i);
                         });
 }
 

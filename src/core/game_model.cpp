@@ -1,7 +1,9 @@
 #include "core/game_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -59,16 +61,41 @@ GameModel::GameModel(GameConfig config,
 GameModel::GameModel(std::size_t num_channels,
                      std::vector<RadioCount> radio_budgets,
                      std::vector<std::shared_ptr<const RateFunction>> rates,
-                     double radio_cost)
+                     double radio_cost, std::vector<double> utility_weights)
     : config_(config_from_budgets(num_channels, radio_budgets)),
       budgets_(std::move(radio_budgets)),
-      cost_(radio_cost) {
+      cost_(radio_cost),
+      weights_(std::move(utility_weights)) {
   if (rates.size() != 1 && rates.size() != num_channels) {
     throw std::invalid_argument(
         "GameModel: need one shared rate function or one per channel");
   }
   if (cost_ < 0.0) {
     throw std::invalid_argument("GameModel: cost must be >= 0");
+  }
+  if (!weights_.empty()) {
+    if (weights_.size() != budgets_.size()) {
+      throw std::invalid_argument(
+          "GameModel: need one utility weight per user (or none)");
+    }
+    bool all_unit = true;
+    for (const double weight : weights_) {
+      // Bounded range: weights are valuation multipliers on reported
+      // utilities/welfare; values orders of magnitude from unity are unit
+      // mistakes that would drown the unweighted columns' precision in
+      // mixed aggregates. Four orders each way covers any realistic
+      // priority ladder. (Decision surfaces are weight-free, so this is a
+      // reporting-sanity bound, not a tolerance-safety one.)
+      if (!std::isfinite(weight) || weight < 1e-4 || weight > 1e4) {
+        throw std::invalid_argument(
+            "GameModel: utility weights must be in [1e-4, 1e4]");
+      }
+      all_unit &= weight == 1.0;
+    }
+    // Normalize: an all-ones vector IS the unweighted game; dropping it
+    // keeps weighted() an exact "behaves differently" predicate and the
+    // unweighted hot paths branch-free.
+    if (all_unit) weights_.clear();
   }
   for (const RadioCount budget : budgets_) total_radios_ += budget;
   uniform_budgets_ = std::all_of(
@@ -127,8 +154,8 @@ void GameModel::validate(const StrategyMatrix& strategies) const {
   }
 }
 
-double GameModel::utility_unchecked(const StrategyMatrix& strategies,
-                                    UserId user) const {
+double GameModel::raw_utility_unchecked(const StrategyMatrix& strategies,
+                                        UserId user) const {
   double total = 0.0;
   const auto row = strategies.row(user);
   const auto loads = strategies.channel_loads();
@@ -138,6 +165,20 @@ double GameModel::utility_unchecked(const StrategyMatrix& strategies,
              rate(c, loads[c]);
   }
   return total - cost_ * static_cast<double>(strategies.user_total(user));
+}
+
+double GameModel::utility_unchecked(const StrategyMatrix& strategies,
+                                    UserId user) const {
+  const double raw = raw_utility_unchecked(strategies, user);
+  return weights_.empty() ? raw : weights_[user] * raw;
+}
+
+double GameModel::raw_utility(const StrategyMatrix& strategies,
+                              UserId user) const {
+  check_matrix(strategies);
+  check_user(user);
+  check_user_budget(strategies, user);
+  return raw_utility_unchecked(strategies, user);
 }
 
 double GameModel::utility(const StrategyMatrix& strategies,
@@ -160,6 +201,20 @@ std::vector<double> GameModel::utilities(
 
 double GameModel::welfare(const StrategyMatrix& strategies) const {
   validate(strategies);
+  if (!weights_.empty()) {
+    // Weighted welfare is sum_i w_i * U_i; the per-channel shortcut of
+    // raw_welfare only holds when every weight is 1.
+    double total = 0.0;
+    for (UserId i = 0; i < config_.num_users; ++i) {
+      total += utility_unchecked(strategies, i);
+    }
+    return total;
+  }
+  return raw_welfare(strategies);
+}
+
+double GameModel::raw_welfare(const StrategyMatrix& strategies) const {
+  validate(strategies);
   double total = 0.0;
   const auto loads = strategies.channel_loads();
   for (ChannelId c = 0; c < config_.num_channels; ++c) {
@@ -179,6 +234,30 @@ double GameModel::optimal_welfare() const {
     singles.push_back(rate(c, 1));
   }
   std::sort(singles.begin(), singles.end(), std::greater<>());
+  if (!weights_.empty()) {
+    // Weighted optimum. While radios fit one-per-channel, spreading still
+    // dominates sharing ((w1+w2)R(2)/2 <= w1 R(1) + w2 R'(1) for
+    // non-increasing R), and the rearrangement inequality pairs the
+    // heaviest radios with the best channels. Beyond that regime the
+    // weighted optimum trades channel quality against weight mixing and has
+    // no closed form: report NaN rather than a wrong bound.
+    if (static_cast<std::size_t>(total_radios_) > config_.num_channels) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    std::vector<double> radio_weights;
+    radio_weights.reserve(static_cast<std::size_t>(total_radios_));
+    for (UserId i = 0; i < config_.num_users; ++i) {
+      radio_weights.insert(radio_weights.end(),
+                           static_cast<std::size_t>(budgets_[i]),
+                           weights_[i]);
+    }
+    std::sort(radio_weights.begin(), radio_weights.end(), std::greater<>());
+    double total = 0.0;
+    for (std::size_t r = 0; r < radio_weights.size(); ++r) {
+      total += std::max(radio_weights[r] * (singles[r] - cost_), 0.0);
+    }
+    return total;
+  }
   const auto occupiable = std::min<std::size_t>(
       config_.num_channels, static_cast<std::size_t>(total_radios_));
   double total = 0.0;
@@ -187,6 +266,14 @@ double GameModel::optimal_welfare() const {
   }
   return total;
 }
+
+// The decision surfaces below are deliberately weight-free: a positive
+// weight scales every option of a user equally, so argmaxes, improving-move
+// predicates and equilibrium verdicts are identical to the base game's —
+// computing them in raw units keeps that invariance EXACT (no tolerance
+// rescaling, no floating-point drift between weighted and unweighted
+// cells). Utilities/benefits they return are raw too; apply
+// utility_weight() for valuation.
 
 BestResponse GameModel::best_response(const StrategyMatrix& strategies,
                                       UserId user) const {
@@ -219,7 +306,7 @@ bool GameModel::is_nash_equilibrium(const StrategyMatrix& strategies,
                                     double tolerance) const {
   validate(strategies);
   for (UserId user = 0; user < config_.num_users; ++user) {
-    const double current = utility(strategies, user);
+    const double current = raw_utility_unchecked(strategies, user);
     if (best_response(strategies, user).utility > current + tolerance) {
       return false;
     }

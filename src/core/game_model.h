@@ -7,11 +7,17 @@
 //   - a per-radio energy price            (energy-aware utilities).
 // GameModel is the closed-form product of those axes:
 //
-//   U_i(S) = sum_c (k_{i,c} / k_c) * R_c(k_c)  -  cost * k_i,
+//   U_i(S) = w_i * [ sum_c (k_{i,c} / k_c) * R_c(k_c)  -  cost * k_i ],
 //
-// with k_i <= budget_i <= |C|. Setting all budgets equal, all R_c equal and
-// cost = 0 recovers the paper's game bit-for-bit (rates are tabulated via
+// with k_i <= budget_i <= |C| and an optional per-user utility weight w_i
+// (priority classes: how much the operator values user i's throughput).
+// Setting all budgets equal, all R_c equal, cost = 0 and every w_i = 1
+// recovers the paper's game bit-for-bit (rates are tabulated via
 // RateTable, whose lookups are bit-identical to the live RateFunction).
+// Weights scale every option of a user by the same positive factor, so the
+// best-response argmax — and hence the set of equilibria — is unchanged;
+// what weights move is the VALUATION layer (utilities, welfare, fairness,
+// the system optimum), which is exactly what a priority-class study sweeps.
 //
 // Everything the response-dynamics hot path needs lives here once: exact
 // DP best response, single-radio deviation scans, welfare and the system
@@ -46,9 +52,14 @@ class GameModel {
   /// Fully general model. `rates` holds either ONE function (shared by all
   /// channels) or one per channel; `radio_budgets[i]` is user i's radio
   /// count, each in [0, num_channels] with at least one positive.
+  /// `utility_weights` is empty (all users weigh 1) or one weight per
+  /// user, each finite and in [1e-4, 1e4] (bounded so weighted benefit
+  /// comparisons keep noise headroom against kUtilityTolerance); an
+  /// all-ones vector is normalized away so weighted() is false exactly
+  /// when the model behaves like the unweighted game.
   GameModel(std::size_t num_channels, std::vector<RadioCount> radio_budgets,
             std::vector<std::shared_ptr<const RateFunction>> rates,
-            double radio_cost = 0.0);
+            double radio_cost = 0.0, std::vector<double> utility_weights = {});
 
   /// Shape of compatible strategy matrices; the per-user cap is the LARGEST
   /// budget — `validate` enforces the individual budgets on top.
@@ -62,6 +73,29 @@ class GameModel {
   bool uniform_budgets() const noexcept { return uniform_budgets_; }
 
   double radio_cost() const noexcept { return cost_; }
+
+  /// True when any utility weight differs from 1. Weights are a VALUATION
+  /// overlay: utility()/utilities()/welfare()/optimal_welfare()/
+  /// budget_fairness() report operator-weighted units, while every
+  /// decision surface — best_response, the single-change scans,
+  /// is_nash_equilibrium, and the dynamics built on them — works in raw
+  /// (unweighted) units. That makes the invariance EXACT: a weighted
+  /// model's trajectories, equilibria and tolerance semantics are
+  /// bit-identical to the base game's, weights only change what the
+  /// outcome is worth.
+  bool weighted() const noexcept { return !weights_.empty(); }
+  double utility_weight(UserId user) const {
+    return weights_.empty() ? 1.0 : weights_[user];
+  }
+
+  /// The user's own throughput-minus-energy utility WITHOUT the valuation
+  /// weight — what selfish play responds to. Equals utility() for
+  /// unweighted models.
+  double raw_utility(const StrategyMatrix& strategies, UserId user) const;
+  /// Load-only welfare sum_c R_c(k_c) - cost * deployed, weight-free —
+  /// the quantity the incremental cache tracks and the dynamics trace
+  /// records. Equals welfare() for unweighted models.
+  double raw_welfare(const StrategyMatrix& strategies) const;
 
   bool uniform_rates() const noexcept { return rates_.size() == 1; }
   const RateFunction& rate_function(ChannelId channel) const;
@@ -89,7 +123,12 @@ class GameModel {
   /// The system optimum over all budget-feasible matrices: occupy the
   /// min(|C|, total_radios) channels with the largest R_c(1), counting each
   /// only when R_c(1) - cost > 0 (a channel that cannot pay its energy
-  /// price is better left idle).
+  /// price is better left idle). Weighted models pair the highest-weight
+  /// radios with the best channels (rearrangement bound, exact while radios
+  /// fit one-per-channel); when weighted radios must share channels the
+  /// weighted optimum has no closed form and this returns NaN — an honest
+  /// "unknown" the aggregation layer skips, never a formula applied out of
+  /// its regime.
   double optimal_welfare() const;
 
   /// Exact best response of `user` under their own budget: DP over
@@ -132,6 +171,8 @@ class GameModel {
   void check_matrix(const StrategyMatrix& strategies) const;
   /// O(1) budget check for ONE user (the per-activation subset).
   void check_user_budget(const StrategyMatrix& strategies, UserId user) const;
+  double raw_utility_unchecked(const StrategyMatrix& strategies,
+                               UserId user) const;
   double utility_unchecked(const StrategyMatrix& strategies,
                            UserId user) const;
 
@@ -140,6 +181,7 @@ class GameModel {
   RadioCount total_radios_ = 0;
   bool uniform_budgets_ = true;
   double cost_ = 0.0;
+  std::vector<double> weights_;  ///< empty = every user weighs 1
   std::vector<std::shared_ptr<const RateFunction>> rates_;  // size 1 or |C|
   std::vector<RateTable> tables_;                           // parallel to rates_
 };

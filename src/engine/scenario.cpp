@@ -82,6 +82,14 @@ std::string ScenarioSpec::name() const {
       }
       return out;
     }
+    case Kind::kWeights: {
+      std::string out = "weights=";
+      for (std::size_t i = 0; i < weight_mix.size(); ++i) {
+        if (i) out += ':';
+        out += round_trip_double(weight_mix[i]);
+      }
+      return out;
+    }
   }
   throw std::logic_error("ScenarioSpec: unknown kind");
 }
@@ -124,9 +132,24 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     }
     return spec;
   }
+  if (text.rfind("weights=", 0) == 0) {
+    spec.kind = Kind::kWeights;
+    for (const std::string& part : split(text.substr(8), ':')) {
+      const double weight = parse_finite_double(part, text);
+      // Mirrors GameModel's reporting-sanity bound: weights are valuation
+      // multipliers; magnitudes far from unity are unit mistakes.
+      if (weight < 1e-4 || weight > 1e4) {
+        throw std::invalid_argument(
+            "ScenarioSpec: utility weights must be in [1e-4, 1e4] in '" +
+            text + "'");
+      }
+      spec.weight_mix.push_back(weight);
+    }
+    return spec;
+  }
   throw std::invalid_argument("ScenarioSpec: unknown scenario '" + text +
                               "' (expected base | energy=<c> | het=<s:..> | "
-                              "budgets=<k:..>)");
+                              "budgets=<k:..> | weights=<w:..>)");
 }
 
 std::vector<ScenarioSpec> ScenarioSpec::parse_list(const std::string& text) {
@@ -211,6 +234,19 @@ GameModel ScenarioSpec::make_model(
     case Kind::kBudgets:
       return GameModel(channels, budgets(users, channels, radios),
                        {std::move(base_rate)});
+    case Kind::kWeights: {
+      if (weight_mix.empty()) {
+        throw std::invalid_argument(
+            "ScenarioSpec: weights scenario needs a non-empty weight mix");
+      }
+      std::vector<double> weights(users);
+      for (std::size_t i = 0; i < users; ++i) {
+        weights[i] = weight_mix[i % weight_mix.size()];
+      }
+      return GameModel(channels, std::vector<RadioCount>(users, radios),
+                       {std::move(base_rate)}, /*radio_cost=*/0.0,
+                       std::move(weights));
+    }
   }
   throw std::logic_error("ScenarioSpec: unknown kind");
 }

@@ -9,6 +9,10 @@
 //                   scaled by s_{c mod m} (profiles cycle over channels)
 //   budgets=<b1:..> per-user radio budgets b_{i mod m}, each clamped to |C|
 //                   (the grid's k axis is ignored for budget scenarios)
+//   weights=<w1:..> per-user utility weights w_{i mod m} (priority
+//                   classes): dynamics and equilibria match the base game,
+//                   but utilities, welfare, efficiency and fairness are
+//                   reported in operator-weighted units
 //
 // A spec expands into a GameModel per cell; every future scenario is a new
 // Kind plus ~100 lines here, not a fourth game class and a fourth driver.
@@ -31,7 +35,7 @@ namespace mrca::engine {
 std::string round_trip_double(double value);
 
 struct ScenarioSpec {
-  enum class Kind { kBase, kEnergy, kHeterogeneous, kBudgets };
+  enum class Kind { kBase, kEnergy, kHeterogeneous, kBudgets, kWeights };
 
   Kind kind = Kind::kBase;
   /// Energy price per deployed radio (kEnergy; >= 0).
@@ -42,10 +46,14 @@ struct ScenarioSpec {
   /// Per-user radio budgets applied cyclically (kBudgets; each >= 0, at
   /// least one positive; clamped to |C| at model-build time).
   std::vector<RadioCount> budget_mix;
+  /// Per-user utility weights applied cyclically (kWeights; each finite
+  /// and in [1e-4, 1e4] — bounded so weighted benefit comparisons keep
+  /// noise headroom against the dynamics tolerance).
+  std::vector<double> weight_mix;
 
-  /// Canonical spec string: "base", "energy=0.2", "het=2:1", "budgets=1:4".
-  /// parse(name()) is the identity, so distinct scenarios never collide in
-  /// CSV/JSON output.
+  /// Canonical spec string: "base", "energy=0.2", "het=2:1", "budgets=1:4",
+  /// "weights=2:1". parse(name()) is the identity, so distinct scenarios
+  /// never collide in CSV/JSON output.
   std::string name() const;
 
   /// Parses one canonical spec string; throws std::invalid_argument on
@@ -57,6 +65,7 @@ struct ScenarioSpec {
   ///   "energy=0.1,0.3"          -> energy=0.1, energy=0.3
   ///   "het=2:1,4:1:1"           -> het=2:1, het=4:1:1
   ///   "base;energy=0.5"         -> base, energy=0.5
+  ///   "weights=2:1,4:1"         -> weights=2:1, weights=4:1
   static std::vector<ScenarioSpec> parse_list(const std::string& text);
 
   /// Budget scenarios pin their own radio counts, so the grid's k axis is

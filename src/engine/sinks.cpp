@@ -1,0 +1,168 @@
+#include "engine/sinks.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "engine/sweep_io.h"
+
+namespace mrca::engine {
+
+void AggregatingSink::begin(const SweepPlan& plan) {
+  result_ = SweepResult{};
+  result_.metric_columns = plan.spec().metrics.column_names();
+  result_.total_runs = plan.num_runs();
+  result_.spec_fingerprint = plan.spec().fingerprint();
+  result_.cells_total = plan.total_cells();
+  result_.cell_begin = plan.cell_begin();
+  result_.cell_end = plan.cell_end();
+  result_.cells.reserve(plan.num_cells());
+  cell_open_ = false;
+}
+
+void AggregatingSink::consume(const RunRecord& record) {
+  if (cell_open_ && open_cell_.cell.index != record.cell.index) {
+    result_.cells.push_back(std::move(open_cell_));
+    cell_open_ = false;
+  }
+  if (!cell_open_) {
+    open_cell_ = CellResult{};
+    open_cell_.cell = record.cell;
+    open_cell_.metric_stats.resize(result_.metric_columns.size());
+    cell_open_ = true;
+  }
+  CellResult& aggregate = open_cell_;
+  ++aggregate.runs;
+  if (record.converged) ++aggregate.converged;
+  aggregate.activations.add(record.activations);
+  aggregate.improving_steps.add(record.improving_steps);
+  aggregate.welfare.add(record.welfare);
+  // NaN = "undefined for this run" (unknown optimum / zero welfare): skip
+  // the sample so means stay honest and count() reports coverage.
+  if (!std::isnan(record.efficiency)) {
+    aggregate.efficiency.add(record.efficiency);
+  }
+  if (!std::isnan(record.anarchy_ratio)) {
+    aggregate.anarchy_ratio.add(record.anarchy_ratio);
+  }
+  aggregate.fairness.add(record.fairness);
+  aggregate.load_imbalance.add(record.load_imbalance);
+  aggregate.deployed.add(record.deployed);
+  aggregate.per_radio_spread.add(record.per_radio_spread);
+  aggregate.budget_fairness.add(record.budget_fairness);
+  for (std::size_t m = 0; m < record.metric_values.size(); ++m) {
+    if (!std::isnan(record.metric_values[m])) {
+      aggregate.metric_stats[m].add(record.metric_values[m]);
+    }
+  }
+  for (const SimTierOutcome& sim : record.sim) {
+    ++aggregate.sim_runs;
+    aggregate.sim_total_bps.add(sim.total_bps);
+    aggregate.sim_gap.add(sim.throughput_gap);
+    aggregate.sim_fairness.add(sim.fairness);
+    aggregate.sim_imbalance.add(sim.channel_imbalance);
+  }
+}
+
+void AggregatingSink::finish() {
+  if (cell_open_) {
+    result_.cells.push_back(std::move(open_cell_));
+    cell_open_ = false;
+  }
+}
+
+void RecordSink::begin(const SweepPlan& plan) {
+  metric_columns_ = plan.spec().metrics.column_names();
+  records_ = 0;
+}
+
+void RecordSink::consume(const RunRecord& record) {
+  std::ostream& out = *out_;
+  out << "{\"cell\":" << record.cell.index
+      << ",\"replicate\":" << record.replicate
+      << ",\"seed\":" << record.seed
+      << ",\"users\":" << record.cell.users
+      << ",\"channels\":" << record.cell.channels
+      << ",\"radios\":" << record.cell.radios
+      << ",\"rate\":\"" << json_escape(record.cell.rate.name())
+      << "\",\"scenario\":\"" << json_escape(record.cell.scenario.name())
+      << "\",\"granularity\":\"" << to_string(record.cell.granularity)
+      << "\",\"order\":\"" << to_string(record.cell.order)
+      << "\",\"start\":\"" << to_string(record.cell.start)
+      << "\",\"converged\":" << (record.converged ? "true" : "false")
+      << ",\"activations\":" << json_number(record.activations)
+      << ",\"improving_steps\":" << json_number(record.improving_steps)
+      << ",\"welfare\":" << json_number(record.welfare)
+      << ",\"efficiency\":" << json_number(record.efficiency)
+      << ",\"anarchy_ratio\":" << json_number(record.anarchy_ratio)
+      << ",\"fairness\":" << json_number(record.fairness)
+      << ",\"load_imbalance\":" << json_number(record.load_imbalance)
+      << ",\"deployed\":" << json_number(record.deployed)
+      << ",\"per_radio_spread\":" << json_number(record.per_radio_spread)
+      << ",\"budget_fairness\":" << json_number(record.budget_fairness);
+  if (!metric_columns_.empty()) {
+    out << ",\"metrics\":{";
+    for (std::size_t m = 0; m < record.metric_values.size(); ++m) {
+      if (m) out << ',';
+      out << '"' << json_escape(metric_columns_[m])
+          << "\":" << json_number(record.metric_values[m]);
+    }
+    out << '}';
+  }
+  if (!record.sim.empty()) {
+    out << ",\"sim\":[";
+    for (std::size_t s = 0; s < record.sim.size(); ++s) {
+      const SimTierOutcome& sim = record.sim[s];
+      if (s) out << ',';
+      out << "{\"total_bps\":" << json_number(sim.total_bps)
+          << ",\"gap\":" << json_number(sim.throughput_gap)
+          << ",\"fairness\":" << json_number(sim.fairness)
+          << ",\"imbalance\":" << json_number(sim.channel_imbalance) << '}';
+    }
+    out << ']';
+  }
+  out << "}\n";
+  ++records_;
+}
+
+void RecordSink::finish() { out_->flush(); }
+
+void ProgressSink::begin(const SweepPlan& plan) {
+  done_ = 0;
+  total_ = plan.num_runs();
+  label_ = "sweep";
+  if (!plan.is_full()) {
+    // 0-based, matching the CLI's --shard i/n spelling and the table
+    // footer, so one run never reports two different shard labels.
+    label_ += " [shard " + std::to_string(plan.shard_index()) + "/" +
+              std::to_string(plan.shard_count()) + ": " +
+              std::to_string(plan.num_cells()) + " of " +
+              std::to_string(plan.total_cells()) + " cells]";
+  }
+  // First frame immediately: a long first task should not look like a hang.
+  draw();
+  last_draw_ = std::chrono::steady_clock::now();
+}
+
+void ProgressSink::consume(const RunRecord& record) {
+  (void)record;
+  ++done_;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_ == total_ || now - last_draw_ >= min_interval_) {
+    draw();
+    last_draw_ = now;
+  }
+}
+
+void ProgressSink::finish() {
+  draw();
+  *out_ << '\n';
+  out_->flush();
+}
+
+void ProgressSink::draw() {
+  const std::size_t percent = total_ == 0 ? 100 : done_ * 100 / total_;
+  *out_ << '\r' << label_ << ": " << done_ << '/' << total_ << " runs ("
+        << percent << "%)" << std::flush;
+}
+
+}  // namespace mrca::engine

@@ -1,134 +1,16 @@
 #include "engine/sweep.h"
 
-#include <algorithm>
 #include <charconv>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <utility>
 
 #include "common/rng.h"
-#include "common/stats.h"
-#include "core/alloc/random_alloc.h"
 #include "mac/bianchi.h"
-#include "core/alloc/sequential.h"
-#include "core/alloc/utility_cache.h"
-#include "core/analysis/efficiency.h"
-#include "core/game.h"
-#include "core/strategy.h"
-#include "engine/thread_pool.h"
+#include "engine/session.h"
+#include "engine/sinks.h"
 
 namespace mrca::engine {
-namespace {
-
-/// Everything a single run reports back; plain values so tasks can fill
-/// their slots without synchronization.
-struct RunOutcome {
-  bool converged = false;
-  double activations = 0.0;
-  double improving_steps = 0.0;
-  double welfare = 0.0;
-  double efficiency = 0.0;
-  double anarchy_ratio = 0.0;  // valid only when welfare > 0
-  double fairness = 0.0;
-  double load_imbalance = 0.0;
-  double deployed = 0.0;
-  double per_radio_spread = 0.0;
-  double budget_fairness = 0.0;
-  /// Flattened metric column values (empty when the spec has no metrics);
-  /// NaN entries mean "undefined for this run".
-  std::vector<double> metric_values;
-  /// One entry per DES replay (empty when the spec has no sim tier); the
-  /// vector is owned by this task's slot, so workers still share nothing.
-  std::vector<SimTierOutcome> sim;
-};
-
-StrategyMatrix make_start(const GameModel& model, SweepStart start,
-                          Rng& rng) {
-  switch (start) {
-    case SweepStart::kEmpty:
-      return model.empty_strategy();
-    case SweepStart::kRandomFull:
-      return random_full_allocation(model, rng);
-    case SweepStart::kRandomPartial:
-      return random_partial_allocation(model, rng);
-    case SweepStart::kSequentialNe: {
-      // Thread the utility cache through Algorithm 1 (cheap here, but this
-      // is the same path the incremental engine API exposes to users).
-      StrategyMatrix strategies = model.empty_strategy();
-      UtilityCache cache(model, strategies);
-      for (UserId user = 0; user < model.config().num_users; ++user) {
-        allocate_user_sequentially(model, strategies, user,
-                                   TieBreak::kLowestIndex, &rng, &cache);
-      }
-      return strategies;
-    }
-  }
-  throw std::logic_error("run_sweep: unknown start kind");
-}
-
-RunOutcome run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
-                   const GameModel& model, std::size_t replicate) {
-  Rng rng(derive_run_seed(spec.base_seed, cell.index, replicate));
-  const StrategyMatrix start = make_start(model, cell.start, rng);
-
-  DynamicsOptions options;
-  options.granularity = cell.granularity;
-  options.order = cell.order;
-  options.max_activations = spec.max_activations;
-  options.tolerance = spec.tolerance;
-  const DynamicsResult result =
-      run_response_dynamics(model, start, options, &rng);
-
-  RunOutcome outcome;
-  outcome.converged = result.converged;
-  outcome.activations = static_cast<double>(result.activations);
-  outcome.improving_steps = static_cast<double>(result.improving_steps);
-  outcome.welfare = model.welfare(result.final_state);
-  const double optimal = model.optimal_welfare();
-  outcome.efficiency = optimal > 0.0 ? outcome.welfare / optimal : 0.0;
-  if (outcome.welfare > 0.0) {
-    outcome.anarchy_ratio = optimal / outcome.welfare;
-  }
-  outcome.fairness = jain_fairness(model.utilities(result.final_state));
-  outcome.load_imbalance =
-      static_cast<double>(load_imbalance(result.final_state));
-  outcome.deployed =
-      static_cast<double>(result.final_state.total_deployed());
-  outcome.per_radio_spread = model.per_radio_spread(result.final_state);
-  outcome.budget_fairness = model.budget_fairness(result.final_state);
-
-  // Analysis metrics: evaluated inside this task against the cell's shared
-  // read-only model. Stochastic metrics get their own decorrelated pure
-  // seed, so the values — like everything else in the outcome — are a pure
-  // function of the task coordinates.
-  if (!spec.metrics.empty()) {
-    const MetricContext context{
-        model, start, result,
-        derive_metric_seed(spec.base_seed, cell.index, replicate)};
-    outcome.metric_values = spec.metrics.compute(context);
-  }
-
-  // Packet-level tier: replay the final allocation through the DES. Runs
-  // inside this task, so the replays ride the same worker pool and the
-  // outcome stays a pure function of the task coordinates.
-  if (spec.sim_tier) {
-    // The analytic prediction depends only on (final_state, tier); compute
-    // it once and reuse it across the DES replays.
-    const std::vector<double> analytic =
-        analytic_per_user_bps(result.final_state, *spec.sim_tier);
-    outcome.sim.reserve(spec.sim_tier->replicates);
-    for (std::size_t s = 0; s < spec.sim_tier->replicates; ++s) {
-      outcome.sim.push_back(replay_strategy(
-          result.final_state, *spec.sim_tier,
-          derive_sim_seed(spec.base_seed, cell.index, replicate, s),
-          analytic));
-    }
-  }
-  return outcome;
-}
-
-}  // namespace
 
 std::string RateSpec::name() const {
   switch (kind) {
@@ -229,6 +111,27 @@ const char* to_string(ActivationOrder order) {
   return "?";
 }
 
+SweepStart parse_sweep_start(const std::string& text) {
+  if (text == "empty") return SweepStart::kEmpty;
+  if (text == "random") return SweepStart::kRandomFull;
+  if (text == "partial") return SweepStart::kRandomPartial;
+  if (text == "ne") return SweepStart::kSequentialNe;
+  throw std::invalid_argument("unknown start '" + text + "'");
+}
+
+ResponseGranularity parse_response_granularity(const std::string& text) {
+  if (text == "best") return ResponseGranularity::kBestResponse;
+  if (text == "single") return ResponseGranularity::kBestSingleMove;
+  if (text == "random-move") return ResponseGranularity::kRandomImprovingMove;
+  throw std::invalid_argument("unknown granularity '" + text + "'");
+}
+
+ActivationOrder parse_activation_order(const std::string& text) {
+  if (text == "rr") return ActivationOrder::kRoundRobin;
+  if (text == "random") return ActivationOrder::kUniformRandom;
+  throw std::invalid_argument("unknown activation order '" + text + "'");
+}
+
 std::size_t SweepSpec::grid_size() const noexcept {
   return users.size() * channels.size() * radios.size() * rates.size() *
          scenarios.size() * granularities.size() * orders.size() *
@@ -317,99 +220,65 @@ std::uint64_t derive_metric_seed(std::uint64_t base_seed,
   return mix.next();
 }
 
+std::string SweepSpec::fingerprint() const {
+  std::string out;
+  const auto list = [&out](const char* axis, const auto& values,
+                           const auto& item_name) {
+    out += out.empty() ? "" : "|";
+    out += axis;
+    out += '=';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ',';
+      out += item_name(values[i]);
+    }
+  };
+  list("users", users, [](std::size_t n) { return std::to_string(n); });
+  list("channels", channels, [](std::size_t c) { return std::to_string(c); });
+  list("radios", radios, [](RadioCount k) { return std::to_string(k); });
+  list("rates", rates, [](const RateSpec& rate) { return rate.name(); });
+  list("scenarios", scenarios,
+       [](const ScenarioSpec& scenario) { return scenario.name(); });
+  list("granularities", granularities, [](ResponseGranularity granularity) {
+    return std::string(to_string(granularity));
+  });
+  list("orders", orders, [](ActivationOrder order) {
+    return std::string(to_string(order));
+  });
+  list("starts", starts,
+       [](SweepStart start) { return std::string(to_string(start)); });
+  out += "|replicates=" + std::to_string(replicates);
+  out += "|seed=" + std::to_string(base_seed);
+  out += "|max_activations=" + std::to_string(max_activations);
+  out += "|tolerance=" + round_trip_double(tolerance);
+  out += "|sim=";
+  if (sim_tier) {
+    out += sim::to_string(sim_tier->mac);
+    out += ':' + round_trip_double(sim_tier->duration_s);
+    out += ':' + std::to_string(sim_tier->replicates);
+  } else {
+    out += "off";
+  }
+  out += "|metrics=";
+  if (metrics.empty()) {
+    out += "none";
+  } else {
+    bool first = true;
+    for (const Metric& metric : metrics.metrics()) {
+      if (!first) out += ',';
+      first = false;
+      out += metric.name;
+    }
+  }
+  return out;
+}
+
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
-  if (spec.replicates == 0) {
-    throw std::invalid_argument("run_sweep: replicates must be >= 1");
-  }
-  if (spec.sim_tier) {
-    if (spec.sim_tier->replicates == 0) {
-      throw std::invalid_argument("run_sweep: sim replicates must be >= 1");
-    }
-    if (spec.sim_tier->duration_s <= 0.0 ||
-        !std::isfinite(spec.sim_tier->duration_s)) {
-      throw std::invalid_argument(
-          "run_sweep: sim duration must be finite and > 0");
-    }
-  }
-  const std::vector<SweepSpec::Cell> cells = spec.expand();
-  const std::size_t total_runs = cells.size() * spec.replicates;
-
-  // Rate functions are immutable, so build each distinct (spec, table size)
-  // once up front and share it across every cell and replicate that needs
-  // it — for the DCF kinds this collapses thousands of Bianchi fixed-point
-  // table builds into one per distinct N*k. The per-cell GameModel (the
-  // scenario picks the game: base, energy-priced, heterogeneous band or
-  // mixed radio budgets) is likewise immutable and shared across the
-  // cell's replicates, so its rate tabulation runs once, not per task.
-  std::map<std::pair<std::string, int>, std::shared_ptr<const RateFunction>>
-      rate_cache;
-  std::vector<GameModel> models;
-  models.reserve(cells.size());
-  for (const SweepSpec::Cell& cell : cells) {
-    // The scenario knows the cell's true maximum load (budget scenarios
-    // replace N*k with their budget sum).
-    const int max_load =
-        cell.scenario.total_radios(cell.users, cell.channels, cell.radios);
-    auto& cached = rate_cache[{cell.rate.name(), max_load}];
-    if (!cached) cached = cell.rate.make(max_load);
-    models.push_back(cell.scenario.make_model(cell.users, cell.channels,
-                                              cell.radios, cached));
-  }
-
-  // One pre-allocated slot per task; workers never touch shared state
-  // (models are read-only from here on).
-  std::vector<RunOutcome> outcomes(total_runs);
-  const std::size_t workers =
-      parallel_for(total_runs, options.threads, [&](std::size_t task) {
-        const std::size_t cell_index = task / spec.replicates;
-        const std::size_t replicate = task % spec.replicates;
-        outcomes[task] =
-            run_one(spec, cells[cell_index], models[cell_index], replicate);
-      });
-
-  // Sequential aggregation in task order: bit-identical at any thread count.
-  SweepResult result;
-  result.metric_columns = spec.metrics.column_names();
-  result.total_runs = total_runs;
-  result.threads_used = workers;
-  result.cells.reserve(cells.size());
-  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-    CellResult aggregate;
-    aggregate.cell = cells[ci];
-    aggregate.metric_stats.resize(result.metric_columns.size());
-    for (std::size_t r = 0; r < spec.replicates; ++r) {
-      const RunOutcome& outcome = outcomes[ci * spec.replicates + r];
-      ++aggregate.runs;
-      if (outcome.converged) ++aggregate.converged;
-      aggregate.activations.add(outcome.activations);
-      aggregate.improving_steps.add(outcome.improving_steps);
-      aggregate.welfare.add(outcome.welfare);
-      aggregate.efficiency.add(outcome.efficiency);
-      if (outcome.welfare > 0.0) {
-        aggregate.anarchy_ratio.add(outcome.anarchy_ratio);
-      }
-      aggregate.fairness.add(outcome.fairness);
-      aggregate.load_imbalance.add(outcome.load_imbalance);
-      aggregate.deployed.add(outcome.deployed);
-      aggregate.per_radio_spread.add(outcome.per_radio_spread);
-      aggregate.budget_fairness.add(outcome.budget_fairness);
-      for (std::size_t m = 0; m < outcome.metric_values.size(); ++m) {
-        // NaN = "undefined for this run": skip the sample so means stay
-        // honest and the per-column count reports coverage.
-        if (!std::isnan(outcome.metric_values[m])) {
-          aggregate.metric_stats[m].add(outcome.metric_values[m]);
-        }
-      }
-      for (const SimTierOutcome& sim : outcome.sim) {
-        ++aggregate.sim_runs;
-        aggregate.sim_total_bps.add(sim.total_bps);
-        aggregate.sim_gap.add(sim.throughput_gap);
-        aggregate.sim_fairness.add(sim.fairness);
-        aggregate.sim_imbalance.add(sim.channel_imbalance);
-      }
-    }
-    result.cells.push_back(std::move(aggregate));
-  }
+  const SweepPlan plan = SweepPlan::build(spec);
+  AggregatingSink sink;
+  const SessionStats stats =
+      run_session(plan, sink, SessionOptions{options.threads});
+  SweepResult result = std::move(sink).take_result();
+  result.threads_used = stats.threads_used;
   return result;
 }
 

@@ -3,12 +3,13 @@
 // aggregate per-cell statistics.
 //
 // Determinism contract: every run's RNG seed is a pure function of
-// (base_seed, cell index, replicate index), each run writes only its own
-// pre-allocated slot, and aggregation walks the slots in task order after
-// the pool joins — so the full SweepResult is bit-identical at any thread
-// count. This is the regime of large-scale allocation studies (e.g.
-// Bistritz & Leshem's asymptotic analyses) where one parameter point says
-// nothing and the (N, C, k, R, dynamics) response surface is the object.
+// (base_seed, ABSOLUTE cell index, replicate index) and records are
+// delivered to sinks in task order (engine/session.h), so the full
+// SweepResult — and every serialized byte downstream of it — is
+// bit-identical at any thread count and across any shard partition. This
+// is the regime of large-scale allocation studies (e.g. Bistritz &
+// Leshem's asymptotic analyses) where one parameter point says nothing and
+// the (N, C, k, R, dynamics) response surface is the object.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +77,13 @@ const char* to_string(SweepStart start);
 const char* to_string(ResponseGranularity granularity);
 const char* to_string(ActivationOrder order);
 
+/// Inverses of the to_string spellings above (the single axis-value
+/// language shared by the CLI flags and the sweep JSON header). Throw
+/// std::invalid_argument on unknown names.
+SweepStart parse_sweep_start(const std::string& text);
+ResponseGranularity parse_response_granularity(const std::string& text);
+ActivationOrder parse_activation_order(const std::string& text);
+
 /// Cartesian grid over game, scenario and dynamics parameters.
 /// Combinations violating the model constraint k <= |C| are skipped during
 /// expansion, and the k axis collapses to its first valid value for budget
@@ -116,8 +124,12 @@ struct SweepSpec {
     ResponseGranularity granularity = ResponseGranularity::kBestResponse;
     ActivationOrder order = ActivationOrder::kRoundRobin;
     SweepStart start = SweepStart::kRandomFull;
-    /// Position in the expanded (valid-only) grid.
+    /// Position in the expanded (valid-only) grid. ABSOLUTE: sharding a
+    /// plan never renumbers cells, so seeds stay pure functions of the
+    /// cell's place in the full expansion.
     std::size_t index = 0;
+
+    friend bool operator==(const Cell&, const Cell&) = default;
   };
 
   /// All grid combinations including invalid ones (k > |C|).
@@ -126,6 +138,14 @@ struct SweepSpec {
   /// The valid cells in a fixed nesting order (users outermost, starts
   /// innermost) — the order is part of the determinism contract.
   std::vector<Cell> expand() const;
+
+  /// Canonical one-line description of every axis, seed and option that
+  /// determines the sweep's output. Two specs with equal fingerprints
+  /// expand to the same plan and draw the same seed streams, so the
+  /// fingerprint is what `mrca merge` compares before combining shard
+  /// outputs. (Custom metrics are identified by name; the sim tier by
+  /// mac/duration/replicates — non-default DcfParameters are not encoded.)
+  std::string fingerprint() const;
 };
 
 /// Per-cell aggregate over the cell's replicates.
@@ -182,6 +202,16 @@ struct SweepResult {
   std::vector<std::string> metric_columns;
   std::size_t total_runs = 0;
   std::size_t threads_used = 1;
+
+  // Provenance, serialized in the JSON header so shard outputs are
+  // self-describing and `merge_sweep_results` can refuse apples-to-oranges
+  // merges. `cells` covers the absolute cell range [cell_begin, cell_end)
+  // of a plan whose full expansion has cells_total cells; a non-sharded
+  // result has cell_begin == 0 and cell_end == cells_total.
+  std::string spec_fingerprint;
+  std::size_t cells_total = 0;
+  std::size_t cell_begin = 0;
+  std::size_t cell_end = 0;
 };
 
 struct SweepOptions {
@@ -209,6 +239,11 @@ std::uint64_t derive_metric_seed(std::uint64_t base_seed,
                                  std::size_t replicate);
 
 /// Expands the spec and runs every (cell, replicate) task across the pool.
+/// A thin wrapper over the streaming session API (engine/session.h): build
+/// a SweepPlan, execute it into an AggregatingSink, return the aggregate —
+/// kept because "run the whole grid, give me everything" is still the right
+/// call shape for small sweeps and tests. Bit-identical to the pre-session
+/// engine at every thread count.
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
 
 }  // namespace mrca::engine

@@ -1,5 +1,7 @@
 #include "engine/sweep_io.h"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -7,6 +9,8 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 
@@ -23,9 +27,13 @@ std::string full_precision(double value) {
 
 void append_stats_json(std::ostringstream& out, const char* key,
                        const RunningStats& stats) {
+  // `m2` (Welford's raw second moment) sits next to the derived stddev so
+  // the document carries the aggregate's full merge state: sweep_from_json
+  // restores it bit-for-bit and shard merges lose nothing to rounding.
   out << '"' << key << "\":{\"count\":" << stats.count()
       << ",\"mean\":" << json_number(stats.mean())
       << ",\"stddev\":" << json_number(stats.stddev())
+      << ",\"m2\":" << json_number(stats.m2())
       << ",\"min\":" << json_number(stats.empty() ? 0.0 : stats.min())
       << ",\"max\":" << json_number(stats.empty() ? 0.0 : stats.max())
       << '}';
@@ -71,6 +79,19 @@ SweepFormat parse_sweep_format(const std::string& text) {
   throw std::invalid_argument("unknown sweep format '" + text + "'");
 }
 
+namespace {
+
+/// Mean of a stat whose samples can ALL be NaN-skipped (efficiency /
+/// anarchy_ratio when the optimum is unknown, every welfare non-positive):
+/// an empty aggregate prints nan — "no defined sample", never a fabricated
+/// perfect-zero efficiency.
+double skippable_mean(const RunningStats& stats) {
+  return stats.empty() ? std::numeric_limits<double>::quiet_NaN()
+                       : stats.mean();
+}
+
+}  // namespace
+
 std::string sweep_to_csv(const SweepResult& result) {
   std::ostringstream out;
   out << "cell,users,channels,radios,rate,scenario,granularity,order,start,"
@@ -100,8 +121,8 @@ std::string sweep_to_csv(const SweepResult& result) {
         << full_precision(cell.welfare.empty() ? 0.0 : cell.welfare.min())
         << ','
         << full_precision(cell.welfare.empty() ? 0.0 : cell.welfare.max())
-        << ',' << full_precision(cell.efficiency.mean()) << ','
-        << full_precision(cell.anarchy_ratio.mean()) << ','
+        << ',' << full_precision(skippable_mean(cell.efficiency)) << ','
+        << full_precision(skippable_mean(cell.anarchy_ratio)) << ','
         << full_precision(cell.fairness.mean()) << ','
         << full_precision(cell.load_imbalance.mean()) << ','
         << full_precision(cell.deployed.mean()) << ','
@@ -129,7 +150,16 @@ std::string sweep_to_csv(const SweepResult& result) {
 
 std::string sweep_to_json(const SweepResult& result) {
   std::ostringstream out;
-  out << "{\"total_runs\":" << result.total_runs
+  out << "{\"spec\":{\"fingerprint\":\""
+      << json_escape(result.spec_fingerprint)
+      << "\",\"cells_total\":" << result.cells_total
+      << ",\"cell_begin\":" << result.cell_begin
+      << ",\"cell_end\":" << result.cell_end << ",\"metric_columns\":[";
+  for (std::size_t m = 0; m < result.metric_columns.size(); ++m) {
+    if (m) out << ',';
+    out << '"' << json_escape(result.metric_columns[m]) << '"';
+  }
+  out << "]},\"total_runs\":" << result.total_runs
       << ",\"cells\":[";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     const CellResult& cell = result.cells[i];
@@ -219,8 +249,9 @@ std::string sweep_to_table(const SweepResult& result) {
         to_string(cell.cell.start), std::move(converged),
         Table::fmt(cell.activations.mean(), 1),
         Table::fmt(cell.welfare.mean(), 4),
-        Table::fmt(cell.efficiency.mean(), 4),
-        Table::fmt(cell.anarchy_ratio.mean(), 4),
+        cell.efficiency.empty() ? "-" : Table::fmt(cell.efficiency.mean(), 4),
+        cell.anarchy_ratio.empty() ? "-"
+                                   : Table::fmt(cell.anarchy_ratio.mean(), 4),
         Table::fmt(cell.fairness.mean(), 4)};
     if (has_scenario) {
       row.insert(row.begin() + 4, cell.cell.scenario.name());
@@ -240,6 +271,323 @@ std::string sweep_to_table(const SweepResult& result) {
     table.add_row(row);
   }
   return table.to_ascii();
+}
+
+namespace {
+
+/// Minimal JSON DOM for re-reading our own writer's output. Numbers are
+/// kept as double (every value we serialize — counts included — is
+/// exactly representable; 17-significant-digit text round-trips the bits).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return value;
+    }
+    throw std::invalid_argument("sweep_from_json: missing key '" + key + "'");
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+  /// Our own writer nests 4 levels deep; anything beyond this is a foreign
+  /// (or adversarial) document, rejected before the recursive descent can
+  /// exhaust the stack.
+  static constexpr std::size_t kMaxDepth = 64;
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("sweep_from_json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                      text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    JsonValue value;
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.string = parse_string();
+        return value;
+      case 't':
+        literal("true");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        literal("false");
+        value.kind = JsonValue::Kind::kBool;
+        return value;
+      case 'n':
+        literal("null");
+        return value;  // kNull
+      default:
+        value.kind = JsonValue::Kind::kNumber;
+        value.number = parse_number();
+        return value;
+    }
+  }
+
+  void literal(const char* word) {
+    const std::size_t length = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, length, word) != 0) fail("bad literal");
+    pos_ += length;
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    ++depth_;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return value; }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      --depth_;
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    ++depth_;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return value; }
+    for (;;) {
+      skip_ws();
+      value.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      --depth_;
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (eof()) fail("dangling escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char digit = text_[pos_++];
+            code <<= 4;
+            if (digit >= '0' && digit <= '9') code |= digit - '0';
+            else if (digit >= 'a' && digit <= 'f') code |= digit - 'a' + 10;
+            else if (digit >= 'A' && digit <= 'F') code |= digit - 'A' + 10;
+            else fail("bad \\u escape");
+          }
+          // Our writer only emits \u00XX for control characters; reject
+          // anything wider rather than mis-decoding it.
+          if (code > 0xff) fail("unsupported \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                      text_[pos_] == '.' || text_[pos_] == 'e' ||
+                      text_[pos_] == 'E' || text_[pos_] == '+' ||
+                      text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || start == pos_) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+std::size_t as_count(const JsonValue& value, const char* what) {
+  if (value.kind != JsonValue::Kind::kNumber || value.number < 0.0 ||
+      value.number != std::floor(value.number)) {
+    throw std::invalid_argument("sweep_from_json: '" + std::string(what) +
+                                "' is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(value.number);
+}
+
+/// null round-trips back to the NaN the writer serialized it from.
+double as_double(const JsonValue& value, const char* what) {
+  if (value.kind == JsonValue::Kind::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (value.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("sweep_from_json: '" + std::string(what) +
+                                "' is not a number");
+  }
+  return value.number;
+}
+
+const std::string& as_string(const JsonValue& value, const char* what) {
+  if (value.kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument("sweep_from_json: '" + std::string(what) +
+                                "' is not a string");
+  }
+  return value.string;
+}
+
+RunningStats stats_from_json(const JsonValue& value, const char* what) {
+  if (value.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("sweep_from_json: stats '" +
+                                std::string(what) + "' is not an object");
+  }
+  return RunningStats::from_state(
+      as_count(value.at("count"), what), as_double(value.at("mean"), what),
+      as_double(value.at("m2"), what), as_double(value.at("min"), what),
+      as_double(value.at("max"), what));
+}
+
+}  // namespace
+
+SweepResult sweep_from_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("sweep_from_json: root is not an object");
+  }
+  SweepResult result;
+  const JsonValue& spec = root.at("spec");
+  result.spec_fingerprint = as_string(spec.at("fingerprint"), "fingerprint");
+  result.cells_total = as_count(spec.at("cells_total"), "cells_total");
+  result.cell_begin = as_count(spec.at("cell_begin"), "cell_begin");
+  result.cell_end = as_count(spec.at("cell_end"), "cell_end");
+  for (const JsonValue& column : spec.at("metric_columns").array) {
+    result.metric_columns.push_back(as_string(column, "metric_columns"));
+  }
+  result.total_runs = as_count(root.at("total_runs"), "total_runs");
+
+  for (const JsonValue& cell_json : root.at("cells").array) {
+    CellResult cell;
+    cell.cell.index = as_count(cell_json.at("cell"), "cell");
+    cell.cell.users = as_count(cell_json.at("users"), "users");
+    cell.cell.channels = as_count(cell_json.at("channels"), "channels");
+    cell.cell.radios = static_cast<RadioCount>(
+        as_count(cell_json.at("radios"), "radios"));
+    cell.cell.rate = RateSpec::parse(as_string(cell_json.at("rate"), "rate"));
+    cell.cell.scenario =
+        ScenarioSpec::parse(as_string(cell_json.at("scenario"), "scenario"));
+    cell.cell.granularity = parse_response_granularity(
+        as_string(cell_json.at("granularity"), "granularity"));
+    cell.cell.order =
+        parse_activation_order(as_string(cell_json.at("order"), "order"));
+    cell.cell.start =
+        parse_sweep_start(as_string(cell_json.at("start"), "start"));
+    cell.runs = as_count(cell_json.at("runs"), "runs");
+    cell.converged = as_count(cell_json.at("converged"), "converged");
+    cell.activations = stats_from_json(cell_json.at("activations"),
+                                       "activations");
+    cell.improving_steps =
+        stats_from_json(cell_json.at("improving_steps"), "improving_steps");
+    cell.welfare = stats_from_json(cell_json.at("welfare"), "welfare");
+    cell.efficiency =
+        stats_from_json(cell_json.at("efficiency"), "efficiency");
+    cell.anarchy_ratio =
+        stats_from_json(cell_json.at("anarchy_ratio"), "anarchy_ratio");
+    cell.fairness = stats_from_json(cell_json.at("fairness"), "fairness");
+    cell.load_imbalance =
+        stats_from_json(cell_json.at("load_imbalance"), "load_imbalance");
+    cell.deployed = stats_from_json(cell_json.at("deployed"), "deployed");
+    cell.per_radio_spread = stats_from_json(cell_json.at("per_radio_spread"),
+                                            "per_radio_spread");
+    cell.budget_fairness = stats_from_json(cell_json.at("budget_fairness"),
+                                           "budget_fairness");
+    cell.sim_runs = as_count(cell_json.at("sim_runs"), "sim_runs");
+    cell.sim_total_bps =
+        stats_from_json(cell_json.at("sim_total_bps"), "sim_total_bps");
+    cell.sim_gap = stats_from_json(cell_json.at("sim_gap"), "sim_gap");
+    cell.sim_fairness =
+        stats_from_json(cell_json.at("sim_fairness"), "sim_fairness");
+    cell.sim_imbalance =
+        stats_from_json(cell_json.at("sim_imbalance"), "sim_imbalance");
+    if (!result.metric_columns.empty()) {
+      const JsonValue& metrics = cell_json.at("metrics");
+      for (const std::string& column : result.metric_columns) {
+        cell.metric_stats.push_back(
+            stats_from_json(metrics.at(column), column.c_str()));
+      }
+    }
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
 }
 
 void write_sweep(std::ostream& out, const SweepResult& result,

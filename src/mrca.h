@@ -38,7 +38,9 @@
 #include "core/strategy.h"       // IWYU pragma: export
 #include "core/types.h"          // IWYU pragma: export
 #include "engine/scenario.h"     // IWYU pragma: export
+#include "engine/session.h"      // IWYU pragma: export
 #include "engine/sim_tier.h"     // IWYU pragma: export
+#include "engine/sinks.h"        // IWYU pragma: export
 #include "engine/sweep.h"        // IWYU pragma: export
 #include "engine/sweep_io.h"     // IWYU pragma: export
 #include "engine/thread_pool.h"  // IWYU pragma: export

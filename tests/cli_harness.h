@@ -1,0 +1,40 @@
+// Shared harness for tests that drive the real mrca binary end to end.
+// MRCA_CLI_PATH is injected by CMake as $<TARGET_FILE:mrca_cli> for every
+// test target that needs it (see the foreach in CMakeLists.txt).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace mrca::testing {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Runs `mrca <args>` and captures combined output + exit code. The binary
+/// path is quoted (build directories may contain spaces); the command is
+/// built with += because the one-expression concat chain trips GCC 12's
+/// -Wrestrict false positive once inlined.
+inline CliResult run_cli(const std::string& args) {
+  std::string command = "\"";
+  command += MRCA_CLI_PATH;
+  command += "\" ";
+  command += args;
+  command += " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CliResult result;
+  char buffer[4096];
+  std::size_t bytes = 0;
+  while ((bytes = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, bytes);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+}  // namespace mrca::testing

@@ -1,44 +1,18 @@
 // End-to-end tests of the mrca CLI binary: checked numeric-flag parsing
 // (malformed values must name the flag and exit non-zero), the unified
 // rate-spec language, and golden strict-JSON output of `mrca sweep`.
-//
-// MRCA_CLI_PATH is injected by CMake as $<TARGET_FILE:mrca_cli>.
 #include <gtest/gtest.h>
 
-#include <cstdio>
+#include <fstream>
 #include <string>
-#include <sys/wait.h>
 
+#include "cli_harness.h"
 #include "strict_json.h"
 
 namespace {
 
-struct CliResult {
-  int exit_code = -1;
-  std::string output;  // stdout + stderr interleaved
-};
-
-CliResult run_cli(const std::string& args) {
-  // Quote the binary path: build directories may contain spaces. (Built up
-  // with += — the one-expression concat chain trips GCC 12's -Wrestrict
-  // false positive once inlined.)
-  std::string command = "\"";
-  command += MRCA_CLI_PATH;
-  command += "\" ";
-  command += args;
-  command += " 2>&1";
-  FILE* pipe = popen(command.c_str(), "r");
-  if (pipe == nullptr) return {};
-  CliResult result;
-  char buffer[4096];
-  std::size_t bytes = 0;
-  while ((bytes = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
-    result.output.append(buffer, bytes);
-  }
-  const int status = pclose(pipe);
-  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  return result;
-}
+using mrca::testing::CliResult;
+using mrca::testing::run_cli;
 
 TEST(CliNumericParsing, RejectsNonNumericAxisValue) {
   const CliResult result = run_cli("sweep --users abc");
@@ -189,6 +163,66 @@ TEST(CliMetrics, MetricsCsvIsIdenticalAcrossThreadCounts) {
   ASSERT_EQ(one.exit_code, 0);
   ASSERT_EQ(eight.exit_code, 0);
   EXPECT_EQ(one.output, eight.output);
+}
+
+TEST(CliSharding, RejectsMalformedShardFlagsNamingTheFlag) {
+  for (const char* shard : {"x", "1", "2/2", "3/2", "1/0", "a/b"}) {
+    const CliResult result = run_cli(
+        std::string("sweep --users 3 --channels 3 --radios 1 --shard ") +
+        shard);
+    EXPECT_EQ(result.exit_code, 2) << shard;
+    EXPECT_NE(result.output.find("--shard"), std::string::npos) << shard;
+  }
+}
+
+TEST(CliSharding, ShardOutputIsStrictJsonWithTheSpecHeader) {
+  const CliResult result = run_cli(
+      "sweep --users 3,4 --channels 3 --radios 1 --replicates 2 --seed 5 "
+      "--shard 0/2 --format json");
+  ASSERT_EQ(result.exit_code, 0);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(result.output, &why)) << why;
+  EXPECT_NE(result.output.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"cell_begin\":0"), std::string::npos);
+}
+
+TEST(CliRecords, WritesOneStrictJsonLinePerRun) {
+  const std::string path = ::testing::TempDir() + "mrca_cli_records.jsonl";
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 --replicates 3 --seed 5 "
+      "--records " + path + " --format csv");
+  ASSERT_EQ(result.exit_code, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    std::string why;
+    EXPECT_TRUE(mrca::testing::is_strict_json(line, &why)) << why;
+  }
+  EXPECT_EQ(lines, 3u);  // 1 cell x 3 replicates
+}
+
+TEST(CliSessionFlags, RejectedOutsideSweepNamingTheFlags) {
+  // Sweep-only flags must be rejected — not silently ignored — elsewhere.
+  for (const char* args :
+       {"merge a.json b.json --records out.jsonl",
+        "simulate 4 3 1 --shard 0/2", "solve 4 3 1 --progress"}) {
+    const CliResult result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 2) << args;
+    EXPECT_NE(result.output.find("apply only to the sweep command"),
+              std::string::npos)
+        << args;
+  }
+}
+
+TEST(CliRecords, UnwritablePathExits2NamingTheFlag) {
+  const CliResult result = run_cli(
+      "sweep --users 3 --channels 3 --radios 1 "
+      "--records /nonexistent-dir/records.jsonl");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--records"), std::string::npos);
 }
 
 TEST(CliDeterminism, SimTierCsvIsIdenticalAcrossThreadCounts) {

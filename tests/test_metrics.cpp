@@ -302,11 +302,103 @@ TEST(MetricSweep, BitIdenticalAcrossThreadCounts) {
   // distributed protocol must not smear across thread counts.
   spec.metrics = MetricSet::parse_list(
       "nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,"
-      "distributed");
+      "convergence,distributed");
   const SweepResult one = engine::run_sweep(spec, SweepOptions{1});
   const SweepResult eight = engine::run_sweep(spec, SweepOptions{8});
   EXPECT_EQ(engine::sweep_to_csv(one), engine::sweep_to_csv(eight));
   EXPECT_EQ(engine::sweep_to_json(one), engine::sweep_to_json(eight));
+}
+
+TEST(ConvergenceMetric, ZeroFromAnEquilibriumStart) {
+  // Algorithm 1's NE start: no unilateral gain ever reaches epsilon, so
+  // the epsilon-NE time is 0.
+  const GameModel model(GameConfig(5, 4, 2), decaying_rate());
+  const FinishedRun run(model);
+  const std::vector<double> values =
+      MetricSet::parse_list("convergence").compute(run.context(model));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 0.0);
+}
+
+TEST(ConvergenceMetric, PositiveAndBoundedFromAnEmptyStart) {
+  // From the empty allocation the first deploys gain R(1) = 1 >> epsilon,
+  // so the time is positive; the deterministic replay converges, so it is
+  // finite and bounded by the replay's own activation count.
+  const GameModel model(GameConfig(6, 4, 2), decaying_rate());
+  const StrategyMatrix empty = model.empty_strategy();
+  const DynamicsResult dynamics = run_response_dynamics(model, empty);
+  ASSERT_TRUE(dynamics.converged);
+  MetricContext context{model, empty, dynamics, 42};
+  const std::vector<double> values =
+      MetricSet::parse_list("convergence").compute(context);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_GT(values[0], 0.0);
+  EXPECT_TRUE(std::isfinite(values[0]));
+  // The last >= epsilon gain happens strictly before the closing quiet
+  // pass of the replay (which itself is bounded like the dynamics).
+  EXPECT_LE(values[0],
+            static_cast<double>(dynamics.activations +
+                                model.config().num_users));
+}
+
+TEST(ConvergenceMetric, RunsOnEveryScenarioKindInASweep) {
+  SweepSpec spec;
+  spec.users = {4};
+  spec.channels = {3};
+  spec.radios = {1};
+  spec.scenarios = {ScenarioSpec{}, ScenarioSpec::parse("energy=0.2"),
+                    ScenarioSpec::parse("het=2:1"),
+                    ScenarioSpec::parse("budgets=1:2"),
+                    ScenarioSpec::parse("weights=2:1")};
+  spec.metrics = MetricSet::parse_list("convergence");
+  spec.replicates = 2;
+  const SweepResult result = engine::run_sweep(spec);
+  ASSERT_EQ(result.metric_columns,
+            std::vector<std::string>{"eps_ne_time"});
+  for (const engine::CellResult& cell : result.cells) {
+    // Defined on every run (the replay converges on these tiny games).
+    EXPECT_EQ(cell.metric_stats[0].count(), cell.runs)
+        << cell.cell.scenario.name();
+    EXPECT_GE(cell.metric_stats[0].mean(), 0.0);
+  }
+}
+
+TEST(CellMetricCache, MemoizesModelValuesOncePerKey) {
+  CellMetricCache cache;
+  int computed = 0;
+  const auto expensive = [&] {
+    ++computed;
+    return 42.0;
+  };
+  EXPECT_EQ(cache.memoize("x", expensive), 42.0);
+  EXPECT_EQ(cache.memoize("x", expensive), 42.0);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.memoize("y", [] { return 7.0; }), 7.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CellMetricCache, PoaValuesMatchWithAndWithoutTheCache) {
+  // The energy model takes poa's exact-fallback path (the expensive,
+  // model-only computation the cell cache exists for): a cached context
+  // must produce the identical value and compute the equilibrium once.
+  const GameModel model = ScenarioSpec::parse("energy=0.1").make_model(
+      5, 4, 2, decaying_rate());
+  const FinishedRun run(model);
+  const MetricSet poa = MetricSet::parse_list("poa");
+  const std::vector<double> plain = poa.compute(run.context(model));
+
+  CellMetricCache cache;
+  MetricContext cached_context = run.context(model);
+  cached_context.cell_cache = &cache;
+  const std::vector<double> cached = poa.compute(cached_context);
+  EXPECT_EQ(plain, cached);
+  EXPECT_EQ(cache.size(), 1u);  // nash_welfare memoized
+
+  // Second replicate of the "cell": the memo answers, values unchanged.
+  MetricContext replicate = run.context(model, /*seed=*/43);
+  replicate.cell_cache = &cache;
+  EXPECT_EQ(poa.compute(replicate), plain);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

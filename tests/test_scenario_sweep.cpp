@@ -6,11 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
-#include "engine/sweep.h"
-#include "engine/sweep_io.h"
+#include "mrca.h"
 #include "strict_json.h"
 
 namespace mrca {
@@ -45,6 +45,13 @@ ScenarioSpec budgets(std::vector<RadioCount> mix) {
   return spec;
 }
 
+ScenarioSpec weights(std::vector<double> mix) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioSpec::Kind::kWeights;
+  spec.weight_mix = std::move(mix);
+  return spec;
+}
+
 TEST(ScenarioSpec, NameParseRoundTrip) {
   const std::vector<ScenarioSpec> specs = {
       ScenarioSpec{},
@@ -52,6 +59,8 @@ TEST(ScenarioSpec, NameParseRoundTrip) {
       energy(0.12345678901234567),
       het({2.0, 1.0, 0.5}),
       budgets({1, 4, 2}),
+      weights({2.0, 1.0}),
+      weights({0.5, 1.25, 3.0}),
   };
   for (const ScenarioSpec& spec : specs) {
     EXPECT_EQ(ScenarioSpec::parse(spec.name()), spec) << spec.name();
@@ -79,6 +88,18 @@ TEST(ScenarioSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(ScenarioSpec::parse("het=1:-2"), std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("budgets=0:0"), std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("budgets=1:x"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("weights="), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("weights=0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("weights=2:-1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("weights=1:abc"), std::invalid_argument);
+  // Out-of-range weights would amplify floating-point noise past the
+  // dynamics tolerance (phantom improving moves at a true NE): rejected
+  // at parse time, and at the GameModel layer for open-struct callers.
+  EXPECT_THROW(ScenarioSpec::parse("weights=1e12:1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("weights=1e-9"), std::invalid_argument);
+  EXPECT_THROW(weights({2.0, 1e12}).make_model(
+                   4, 3, 1, std::make_shared<ConstantRate>(1.0)),
+               std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse_list(""), std::invalid_argument);
 }
 
@@ -254,6 +275,119 @@ TEST(ScenarioSweep, WritersCarryTheScenarioColumns) {
   const std::string table = engine::sweep_to_table(result);
   EXPECT_NE(table.find("scenario"), std::string::npos);
   EXPECT_NE(table.find("deployed"), std::string::npos);
+}
+
+TEST(WeightedModel, UtilitiesWelfareAndCacheAgreeWithTheScaledOracle) {
+  // weights=2:1 over 4 users: U_i must be w_i times the base-game utility
+  // for the SAME allocation, welfare their sum, and the incremental cache
+  // must track both through a full dynamics trajectory.
+  const auto rate = std::make_shared<PowerLawRate>(1.0, 1.0);
+  const GameModel base = ScenarioSpec{}.make_model(4, 3, 2, rate);
+  const GameModel weighted = weights({2.0, 1.0}).make_model(4, 3, 2, rate);
+  ASSERT_TRUE(weighted.weighted());
+  ASSERT_FALSE(base.weighted());
+
+  Rng rng(7);
+  const StrategyMatrix state = random_full_allocation(base, rng);
+  double welfare_sum = 0.0;
+  for (UserId i = 0; i < 4; ++i) {
+    const double expected = (i % 2 == 0 ? 2.0 : 1.0) * base.utility(state, i);
+    EXPECT_NEAR(weighted.utility(state, i), expected, 1e-12);
+    welfare_sum += expected;
+  }
+  EXPECT_NEAR(weighted.welfare(state), welfare_sum, 1e-12);
+
+  // Incremental bookkeeping: drive the weighted dynamics through the cache
+  // and compare against the full recompute at the end.
+  DynamicsOptions options;
+  const DynamicsResult result =
+      run_response_dynamics(weighted, state, options);
+  UtilityCache cache(weighted, result.final_state);
+  EXPECT_LT(cache.max_drift(result.final_state), 1e-12);
+  // Trajectories are weight-invariant (positive scaling preserves every
+  // argmax): the base game must walk the identical path.
+  const DynamicsResult base_result =
+      run_response_dynamics(base, state, options);
+  EXPECT_EQ(result.activations, base_result.activations);
+  EXPECT_EQ(result.improving_steps, base_result.improving_steps);
+  EXPECT_EQ(result.final_state.key(), base_result.final_state.key());
+  // ... and the incremental and full-recompute drivers agree on the
+  // weighted model (both compare weighted utilities against weighted best
+  // responses), ending in a verified weighted NE.
+  options.use_incremental_cache = false;
+  const DynamicsResult full = run_response_dynamics(weighted, state, options);
+  EXPECT_EQ(result.activations, full.activations);
+  EXPECT_EQ(result.final_state.key(), full.final_state.key());
+  EXPECT_TRUE(weighted.is_nash_equilibrium(result.final_state));
+}
+
+TEST(WeightedModel, OptimalWelfarePairsHeavyRadiosWithWideChannels) {
+  // 2 users x 1 radio on 3 channels with per-channel rates 3,1,1 and
+  // weights 2,1: the optimum parks the heavy user on the wide channel,
+  // 2*3 + 1*1 = 7. (Weights enter through the general GameModel ctor;
+  // the scenario kind composes them with a uniform band.)
+  const auto rate = std::make_shared<ConstantRate>(1.0);
+  const GameModel model(
+      3, {1, 1},
+      {std::make_shared<ScaledRate>(rate, 3.0), rate, rate},
+      /*radio_cost=*/0.0, {2.0, 1.0});
+  EXPECT_NEAR(model.optimal_welfare(), 7.0, 1e-12);
+
+  // Beyond one-radio-per-channel the weighted optimum has no closed form:
+  // the model must say NaN, never guess.
+  const GameModel crowded(2, {2, 2}, {rate}, 0.0, {2.0, 1.0});
+  EXPECT_TRUE(std::isnan(crowded.optimal_welfare()));
+  // ... and theorem-1 closed forms abstain for every weighted model.
+  EXPECT_FALSE(theorem1_preconditions_hold(model));
+}
+
+TEST(WeightedSweep, ReportsWeightedColumnsAndSkipsUnknownOptima) {
+  // One cell inside the pairing regime (N*k <= |C|): efficiency defined on
+  // every run. One cell beyond it: the optimum is NaN, so efficiency and
+  // the anarchy ratio are skipped with honest zero counts while everything
+  // else aggregates normally.
+  SweepSpec spec;
+  spec.users = {3};
+  spec.channels = {4};
+  spec.radios = {1};
+  spec.scenarios = {weights({2.0, 1.0})};
+  spec.replicates = 3;
+  const SweepResult in_regime = engine::run_sweep(spec);
+  ASSERT_EQ(in_regime.cells.size(), 1u);
+  EXPECT_EQ(in_regime.cells[0].efficiency.count(), 3u);
+  EXPECT_GT(in_regime.cells[0].efficiency.mean(), 0.0);
+
+  spec.channels = {4};
+  spec.radios = {2};  // 6 radios > 4 channels: weighted optimum unknown
+  const SweepResult beyond = engine::run_sweep(spec);
+  ASSERT_EQ(beyond.cells.size(), 1u);
+  const CellResult& cell = beyond.cells[0];
+  EXPECT_EQ(cell.converged, cell.runs);
+  EXPECT_EQ(cell.efficiency.count(), 0u);
+  EXPECT_EQ(cell.anarchy_ratio.count(), 0u);
+  EXPECT_GT(cell.welfare.mean(), 0.0);
+  // The serialized output stays strict JSON (nan means null, counts 0).
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(engine::sweep_to_json(beyond),
+                                            &why))
+      << why;
+}
+
+TEST(WeightedSweep, CsvBitIdenticalAcrossThreadCountsWithWeights) {
+  SweepSpec spec;
+  spec.users = {4, 6};
+  spec.channels = {3, 4};
+  spec.radios = {1, 2};
+  spec.scenarios = {ScenarioSpec{}, weights({2.0, 1.0}),
+                    weights({4.0, 1.0, 1.0})};
+  spec.replicates = 2;
+  spec.base_seed = 77;
+  const SweepResult one = engine::run_sweep(spec, SweepOptions{1});
+  const SweepResult eight = engine::run_sweep(spec, SweepOptions{8});
+  EXPECT_EQ(engine::sweep_to_csv(one), engine::sweep_to_csv(eight));
+  const std::string csv = engine::sweep_to_csv(one);
+  EXPECT_NE(csv.find("weights=2:1"), std::string::npos);
+  EXPECT_NE(csv.find("weights=4:1:1"), std::string::npos);
 }
 
 TEST(ScenarioSweep, SimTierReplaysExtensionAllocationsThroughTheDes) {

@@ -7,6 +7,7 @@
 //   rates    [options]                print R(k) tables for the MAC models
 //   simulate N C k [options]          NE + packet-level DES validation
 //   sweep    [options]                parallel batch experiments over a grid
+//   merge    FILE... [options]        combine sharded sweep JSON outputs
 //
 // Common options:
 //   --rate tdma|dcf|dcf-opt|powerlaw=<alpha>    rate function (default tdma)
@@ -17,16 +18,25 @@
 // Sweep options (list values as comma lists or lo:hi[:step] ranges):
 //   --users / --channels / --radios             grid axes (e.g. 2:40 or 4,8)
 //   --rates tdma|powerlaw=<a>|geom=<d>|linear=<s>  comma list
-//   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>  scenario axis
-//                                               (',' lists values, ';'
-//                                               separates kinds)
+//   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>|weights=<w:..>
+//                                               scenario axis (',' lists
+//                                               values, ';' separates kinds)
 //   --metrics nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,
-//             distributed                       per-run analysis columns
+//             convergence,distributed           per-run analysis columns
 //   --granularity best|single|random-move       comma list
 //   --order rr|random                           comma list
 //   --start empty|random|partial|ne             comma list
 //   --replicates <n> --threads <n> --format table|csv|json
 //   --max-activations <n>
+//   --shard <i>/<n>                             run only shard i (0-based)
+//                                               of a deterministic n-way
+//                                               cell partition; JSON shard
+//                                               outputs recombine with
+//                                               `mrca merge` into exactly
+//                                               the non-sharded output
+//   --records <path>                            stream one JSONL row per
+//                                               finished run to <path>
+//   --progress                                  live progress on stderr
 //
 // MATRIX uses the canonical key format: rows '|', cells ',',
 // e.g. "1,1,0|0,1,1".
@@ -34,8 +44,10 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -75,6 +87,10 @@ struct CliOptions {
   bool sim_flags_given = false;
   /// True once --scenario appeared (repeat flags append groups).
   bool scenario_given = false;
+  // streaming session options (sweep only)
+  std::string shard;         ///< "<i>/<n>", empty = run the full plan
+  std::string records_path;  ///< empty = no JSONL record stream
+  bool progress = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -92,16 +108,23 @@ struct CliOptions {
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
       "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
+      "           [--shard I/N] [--records PATH] [--progress]\n"
       "           (L = comma list or lo:hi[:step] range)\n"
+      "  merge    FILE... [--format table|csv|json]\n"
+      "           combine shard JSON outputs (sweep --shard I/N --format\n"
+      "           json) into the aggregate the non-sharded sweep would\n"
+      "           have produced; shards must cover every cell exactly once\n"
+      "           and share one spec fingerprint\n"
       "rate specs (all commands): tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
       "                         | geom=<decay> | linear=<slope>\n"
       "scenarios (sweep):  base | energy=<cost,..> | het=<scale:scale,..>\n"
-      "                  | budgets=<k:k:..,..>   (';' separates kinds, e.g.\n"
-      "                  --scenario \"energy=0.1,0.3;het=2:1;budgets=1:4\")\n"
+      "                  | budgets=<k:k:..,..> | weights=<w:w:..,..>\n"
+      "                  (';' separates kinds, e.g.\n"
+      "                  --scenario \"energy=0.1,0.3;het=2:1;weights=2:1\")\n"
       "metrics (sweep):    comma list of nash | single_move | theorem1\n"
       "                  | poa | welfare_eff | pareto | fairness\n"
-      "                  | distributed, evaluated per run and emitted as\n"
-      "                  extra columns in every format\n";
+      "                  | convergence | distributed, evaluated per run and\n"
+      "                  emitted as extra columns in every format\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -216,6 +239,15 @@ CliOptions parse_options(int argc, char** argv, int first) {
           static_cast<std::size_t>(parse_u64(arg, need_value(arg)));
     } else if (arg == "--format") {
       options.format = need_value(arg);
+    } else if (arg == "--shard") {
+      options.shard = need_value(arg);
+    } else if (arg == "--records") {
+      options.records_path = need_value(arg);
+      if (options.records_path.empty()) {
+        usage("missing path for --records");
+      }
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--sim") {
       options.sim_mac = need_value(arg);
     } else if (arg == "--sim-seconds") {
@@ -398,25 +430,31 @@ std::vector<T> parse_enum_list(const std::string& text,
   return values;
 }
 
+// The axis-value languages live in the library (they are also how the
+// sweep JSON header is parsed back); the CLI wrappers only translate a
+// parse failure into the usage + exit-2 convention.
 ResponseGranularity parse_granularity(const std::string& text) {
-  if (text == "best") return ResponseGranularity::kBestResponse;
-  if (text == "single") return ResponseGranularity::kBestSingleMove;
-  if (text == "random-move") return ResponseGranularity::kRandomImprovingMove;
-  usage("unknown granularity '" + text + "'");
+  try {
+    return engine::parse_response_granularity(text);
+  } catch (const std::invalid_argument& error) {
+    usage(error.what());
+  }
 }
 
 ActivationOrder parse_order(const std::string& text) {
-  if (text == "rr") return ActivationOrder::kRoundRobin;
-  if (text == "random") return ActivationOrder::kUniformRandom;
-  usage("unknown activation order '" + text + "'");
+  try {
+    return engine::parse_activation_order(text);
+  } catch (const std::invalid_argument& error) {
+    usage(error.what());
+  }
 }
 
 engine::SweepStart parse_start(const std::string& text) {
-  if (text == "empty") return engine::SweepStart::kEmpty;
-  if (text == "random") return engine::SweepStart::kRandomFull;
-  if (text == "partial") return engine::SweepStart::kRandomPartial;
-  if (text == "ne") return engine::SweepStart::kSequentialNe;
-  usage("unknown start '" + text + "'");
+  try {
+    return engine::parse_sweep_start(text);
+  } catch (const std::invalid_argument& error) {
+    usage(error.what());
+  }
 }
 
 engine::RateSpec parse_rate_spec(const std::string& text) {
@@ -461,20 +499,100 @@ int cmd_sweep(const CliOptions& options) {
     usage("--sim-seconds/--sim-replicates have no effect without "
           "--sim dcf|tdma");
   }
-  if (spec.expand().empty()) {
+  const engine::SweepFormat format =
+      engine::parse_sweep_format(options.format);
+
+  engine::SweepPlan plan = engine::SweepPlan::build(spec);
+  if (plan.total_cells() == 0) {
     usage("the grid has no valid (N, C, k) combination: every radios value "
           "exceeds every channels value (model requires k <= |C|)");
   }
+  if (!options.shard.empty()) {
+    // "<i>/<n>", 0-based: shard 0/3, 1/3, 2/3 partition the plan's cells.
+    const std::size_t slash = options.shard.find('/');
+    if (slash == std::string::npos) {
+      usage("invalid value '" + options.shard +
+            "' for --shard (expected <index>/<count>, e.g. 0/3)");
+    }
+    const std::size_t index =
+        parse_count("--shard", options.shard.substr(0, slash));
+    const std::size_t count =
+        parse_positive_count("--shard", options.shard.substr(slash + 1));
+    if (index >= count) {
+      usage("shard index " + std::to_string(index) +
+            " out of range for --shard with " + std::to_string(count) +
+            " shard(s) (indices are 0-based)");
+    }
+    plan = plan.shard(index, count);
+  }
 
-  const engine::SweepFormat format =
-      engine::parse_sweep_format(options.format);
-  engine::SweepOptions sweep_options;
-  sweep_options.threads = options.threads;
-  const engine::SweepResult result = engine::run_sweep(spec, sweep_options);
+  engine::AggregatingSink aggregate;
+  std::vector<engine::RunSink*> sinks{&aggregate};
+  std::ofstream records_file;
+  std::optional<engine::RecordSink> records;
+  if (!options.records_path.empty()) {
+    records_file.open(options.records_path,
+                      std::ios::out | std::ios::trunc);
+    if (!records_file) {
+      usage("cannot open '" + options.records_path + "' for --records");
+    }
+    sinks.push_back(&records.emplace(records_file));
+  }
+  std::optional<engine::ProgressSink> progress;
+  if (options.progress) sinks.push_back(&progress.emplace(std::cerr));
+
+  engine::SessionOptions session_options;
+  session_options.threads = options.threads;
+  const engine::SessionStats stats =
+      engine::run_session(plan, sinks, session_options);
+  if (records_file.is_open() && !records_file) {
+    std::cerr << "error: writing --records file '" << options.records_path
+              << "' failed\n";
+    return 2;
+  }
+  engine::SweepResult result = std::move(aggregate).take_result();
+  result.threads_used = stats.threads_used;
   engine::write_sweep(std::cout, result, format);
   if (format == engine::SweepFormat::kTable) {
     std::cout << result.cells.size() << " cells, " << result.total_runs
-              << " runs on " << result.threads_used << " thread(s)\n";
+              << " runs on " << result.threads_used << " thread(s)";
+    if (!plan.is_full()) {
+      std::cout << " (shard " << plan.shard_index() << "/"
+                << plan.shard_count() << " of " << plan.total_cells()
+                << " cells)";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_merge(const CliOptions& options) {
+  if (options.positional.empty()) {
+    usage("merge needs at least one shard JSON file");
+  }
+  const engine::SweepFormat format =
+      engine::parse_sweep_format(options.format);
+  std::vector<engine::SweepResult> shards;
+  shards.reserve(options.positional.size());
+  for (const std::string& path : options.positional) {
+    std::ifstream in(path);
+    if (!in) usage("merge: cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      shards.push_back(engine::sweep_from_json(text.str()));
+    } catch (const std::invalid_argument& error) {
+      usage("merge: '" + path + "' is not a sweep JSON document (" +
+            error.what() + ")");
+    }
+  }
+  // Mismatched shards (foreign spec, overlap, gap) throw invalid_argument,
+  // which main() reports and turns into exit 2.
+  const engine::SweepResult merged = engine::merge_sweep_results(shards);
+  engine::write_sweep(std::cout, merged, format);
+  if (format == engine::SweepFormat::kTable) {
+    std::cout << merged.cells.size() << " cells, " << merged.total_runs
+              << " runs merged from " << shards.size() << " shard(s)\n";
   }
   return 0;
 }
@@ -486,12 +604,20 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const CliOptions options = parse_options(argc, argv, 2);
+    // The checked-seam convention: a flag with no effect is a mistake to
+    // reject, not to ignore (cf. --sim-seconds without --sim).
+    if (command != "sweep" &&
+        (!options.shard.empty() || !options.records_path.empty() ||
+         options.progress)) {
+      usage("--shard/--records/--progress apply only to the sweep command");
+    }
     if (command == "solve") return cmd_solve(options);
     if (command == "verify") return cmd_verify(options);
     if (command == "dynamics") return cmd_dynamics(options);
     if (command == "rates") return cmd_rates(options);
     if (command == "simulate") return cmd_simulate(options);
     if (command == "sweep") return cmd_sweep(options);
+    if (command == "merge") return cmd_merge(options);
     if (command == "help" || command == "--help") usage();
     usage("unknown command '" + command + "'");
   } catch (const std::exception& error) {
