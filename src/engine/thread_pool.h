@@ -22,6 +22,18 @@ std::size_t resolve_thread_count(std::size_t requested);
 /// one worker (or count <= 1) the loop runs inline. If any body throws, the
 /// first exception is rethrown on the caller's thread after all workers stop
 /// picking up new work. Returns the number of workers actually used.
+///
+/// Memory-ordering note (reviewed under TSan, see test_concurrency_stress):
+/// the task counter uses relaxed atomics throughout, including the
+/// `store(count)` that cancels remaining work after a throw. Relaxed is
+/// sufficient — and not a race — because the counter is the ONLY state
+/// communicated through it: task indices are claimed by the fetch_add's
+/// atomicity alone, cancellation only needs the store to become visible
+/// eventually (workers already mid-task finish normally either way), and
+/// the one cross-thread handoff that does need ordering — publishing
+/// `first_error` and each body's side effects to the caller — is ordered
+/// by the error mutex and the thread join respectively, both of which are
+/// full synchronization points.
 std::size_t parallel_for(std::size_t count, std::size_t threads,
                          const std::function<void(std::size_t)>& body);
 

@@ -52,6 +52,11 @@ class EventQueue {
   void drop_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Lookup-only (schedule/cancel/extract by id — never iterated): firing
+  // order comes exclusively from the (time, seq) heap, so the hash map's
+  // internal order cannot reach results. mrca_lint's unordered-iter rule
+  // keeps it that way; switch to std::map if iteration ever becomes
+  // necessary.
   std::unordered_map<EventId, std::function<void()>> handlers_;
   EventId next_id_ = 1;
   std::uint64_t next_seq_ = 0;

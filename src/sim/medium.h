@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/stats.h"
@@ -73,7 +73,13 @@ class Medium {
 
   Simulator& simulator_;
   std::vector<MediumListener*> listeners_;
-  std::unordered_map<std::uint64_t, ActiveTx> active_;
+  // Ordered by transmission id: start_transmission ITERATES this map (to
+  // damage everything on the air), and iterated order must never depend
+  // on hash layout in code whose effects can reach traces/results —
+  // mrca_lint's unordered-iter rule enforces the invariant tree-wide.
+  // The map holds the handful of concurrently-airborne frames, so the
+  // O(log n) lookup is irrelevant next to the event-queue work per frame.
+  std::map<std::uint64_t, ActiveTx> active_;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t started_ = 0;
   std::uint64_t collided_ = 0;

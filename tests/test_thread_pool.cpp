@@ -1,0 +1,139 @@
+// Direct coverage for the worker pool's contract (engine/thread_pool.h):
+// empty and degenerate ranges, worker clamping, exception propagation from
+// the first/last index, first-exception-wins under a single worker, and
+// resolve_thread_count's zero-means-hardware clamp. The concurrency
+// *stress* counterpart (races under contention, for the TSan gate) lives
+// in test_concurrency_stress.cpp.
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mrca::engine {
+namespace {
+
+TEST(ResolveThreadCount, ZeroMeansHardwareButNeverZero) {
+  // 0 = "one per hardware thread"; whatever the machine reports (including
+  // the 0 the standard allows), the result must be usable.
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, ExplicitRequestPassesThrough) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  EXPECT_EQ(resolve_thread_count(64), 64u);
+}
+
+TEST(ParallelFor, CountZeroRunsNothing) {
+  std::size_t calls = 0;
+  const std::size_t workers =
+      parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(workers, 1u);
+}
+
+TEST(ParallelFor, CountOneRunsInline) {
+  std::size_t calls = 0;
+  const std::size_t workers =
+      parallel_for(1, 8, [&](std::size_t i) { calls += i + 1; });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(workers, 1u);
+}
+
+TEST(ParallelFor, MoreThreadsThanTasksClampsToTaskCount) {
+  std::atomic<std::size_t> calls{0};
+  const std::size_t workers =
+      parallel_for(3, 16, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3u);
+  EXPECT_LE(workers, 3u);
+  EXPECT_GE(workers, 1u);
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 997;  // prime: no clean worker split
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  parallel_for(kCount, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ExceptionAtFirstIndexPropagates) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [](std::size_t i) {
+                     if (i == 0) throw std::runtime_error("first");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionAtLastIndexPropagates) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [](std::size_t i) {
+                     if (i == 63) throw std::runtime_error("last");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, InlinePathPropagatesToo) {
+  // workers <= 1 runs the loop on the caller's thread; the contract (throw
+  // reaches the caller) must hold on that path as well.
+  EXPECT_THROW(parallel_for(4, 1,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::logic_error("inline");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, SingleWorkerFirstExceptionWinsAndStopsTheLoop) {
+  // With one worker the "first" exception is well-defined: index order.
+  std::vector<std::size_t> ran;
+  try {
+    parallel_for(10, 1, [&](std::size_t i) {
+      ran.push_back(i);
+      if (i >= 2) throw std::runtime_error("stop at " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "stop at 2");
+  }
+  // Nothing after the throwing index may run.
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelFor, MultiWorkerPropagatesOneOfTheThrownErrors) {
+  // Under real concurrency "first" is whichever failure is recorded first;
+  // the contract is: exactly one of the thrown exceptions reaches the
+  // caller, and the pool stops handing out new work afterwards.
+  std::atomic<std::size_t> executed{0};
+  std::string what;
+  try {
+    parallel_for(1000, 8, [&](std::size_t i) {
+      executed.fetch_add(1);
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    what = error.what();
+  }
+  EXPECT_EQ(what.rfind("task ", 0), 0u) << what;
+  // Every worker throws on its first pickup, and the failure path stops
+  // further pickups — so the executed count stays near the worker count,
+  // far below the full range.
+  EXPECT_LE(executed.load(), 16u);
+}
+
+TEST(ParallelFor, ReturnsNumberOfWorkersUsed) {
+  const std::size_t workers = parallel_for(100, 3, [](std::size_t) {});
+  EXPECT_EQ(workers, 3u);
+}
+
+}  // namespace
+}  // namespace mrca::engine

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned entropy seam. random_device here must NOT be
+// flagged (common/rng is R1-allowed), and comments / string literals
+// mentioning rand() or time() anywhere must never count as calls.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mrca {
+
+inline std::uint64_t entropy_seed() {
+  std::random_device device;  // allowed: this IS the entropy seam
+  return (static_cast<std::uint64_t>(device()) << 32U) | device();
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base, int cell, int replicate);
+
+}  // namespace mrca

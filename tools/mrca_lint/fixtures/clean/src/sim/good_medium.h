@@ -1,0 +1,32 @@
+// Fixture: clean file — ordered map iteration, lookup-only unordered map,
+// and decoy mentions of banned calls inside comments and strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace mrca {
+
+class GoodMedium {
+ public:
+  // Deterministic: std::map iterates in key order. (Never call rand() or
+  // time() here — this comment must not trip the linter.)
+  void damage_all() {
+    for (auto& [id, collided] : active_) {
+      (void)id;
+      collided = true;
+    }
+  }
+
+  bool has(std::uint64_t id) const { return cache_.count(id) != 0U; }
+
+  std::string banner() const { return "uses time() and rand() wisely"; }
+
+ private:
+  std::map<std::uint64_t, bool> active_;
+  std::unordered_map<std::uint64_t, bool> cache_;  // lookup-only: fine
+};
+
+}  // namespace mrca

@@ -1,0 +1,23 @@
+// Fixture: every banned ambient-entropy source outside the sanctioned
+// files. mrca_lint must flag each call site (R1 banned-entropy).
+#include "core/bad_entropy.h"
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace mrca {
+
+unsigned bad_entropy_sources() {
+  std::random_device device;                       // finding 1
+  unsigned mix = device();
+  mix += static_cast<unsigned>(rand());            // finding 2
+  srand(42);                                       // finding 3
+  mix += static_cast<unsigned>(time(nullptr));     // finding 4
+  mix += static_cast<unsigned>(clock());           // finding 5
+  mix += std::thread::hardware_concurrency();      // finding 6
+  return mix;
+}
+
+}  // namespace mrca

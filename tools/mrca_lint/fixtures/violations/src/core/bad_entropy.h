@@ -1,0 +1,5 @@
+#pragma once
+
+namespace mrca {
+unsigned bad_entropy_sources();
+}  // namespace mrca

@@ -1,0 +1,22 @@
+// Fixture: Rng constructions whose seed does not trace to a
+// derive_*_seed() value (R3 seed-provenance).
+#include "core/bad_seed.h"
+
+namespace mrca {
+
+double bad_seeds(int user_id) {
+  Rng fixed(12345);            // finding: literal seed
+  Rng mixed(user_id * 7 + 3);  // finding: computed, not a derived seed
+  Rng blank{};                 // finding: default seed shared by all users
+  return fixed.next_double() + mixed.next_double() + blank.next_double();
+}
+
+double good_seeds(std::uint64_t base) {
+  // Clean: argument traces to a derive_*_seed() call.
+  Rng derived(derive_run_seed(base, 0, 0));
+  const std::uint64_t metric_seed = derive_metric_seed(base, 0, 0);
+  Rng named(metric_seed);  // clean: variable name carries provenance
+  return derived.next_double() + named.next_double();
+}
+
+}  // namespace mrca

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mrca {
+
+struct Rng {
+  explicit Rng(std::uint64_t seed = 0) : state(seed) {}
+  double next_double() { return static_cast<double>(state++); }
+  std::uint64_t state;
+};
+
+std::uint64_t derive_run_seed(std::uint64_t base, int cell, int replicate);
+std::uint64_t derive_metric_seed(std::uint64_t base, int cell, int replicate);
+
+}  // namespace mrca

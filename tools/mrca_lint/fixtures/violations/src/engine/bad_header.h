@@ -1,0 +1,12 @@
+// Fixture: engine header pulling in a full stream header (R4
+// include-hygiene — engine headers take stream types via <iosfwd> only)
+// plus a relative include escaping the src/ root.
+#pragma once
+
+#include <iostream>
+
+#include "../core/bad_seed.h"
+
+namespace mrca {
+void print_bad(std::ostream& out);
+}  // namespace mrca

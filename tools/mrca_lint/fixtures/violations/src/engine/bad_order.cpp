@@ -1,0 +1,9 @@
+// Fixture: .cpp whose first include is not its own header (R4
+// include-hygiene — self-header-first keeps headers self-contained).
+#include <vector>
+
+#include "engine/bad_order.h"
+
+namespace mrca {
+int bad_order_value() { return static_cast<int>(std::vector<int>{1}.size()); }
+}  // namespace mrca

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace mrca {
+int bad_order_value();
+}  // namespace mrca

@@ -1,0 +1,20 @@
+#include "sim/bad_medium.h"
+
+namespace mrca {
+
+void BadMedium::damage_all() {
+  for (auto& [id, collided] : active_) {  // finding: header-declared map
+    collided = true;
+    (void)id;
+  }
+  for (const auto watcher : watchers_) {  // finding: header-declared set
+    (void)watcher;
+  }
+}
+
+double BadMedium::busy() const {
+  // Lookup-only use of the map is fine; only iteration is order-dependent.
+  return active_.count(1) != 0U ? 1.0 : 0.0;
+}
+
+}  // namespace mrca

@@ -1,0 +1,22 @@
+// Fixture: the exact hazard class from the real sim tier — an
+// unordered_map member declared in the header and iterated in the paired
+// .cpp (R2 unordered-iter must catch the iteration ACROSS the pair).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mrca {
+
+class BadMedium {
+ public:
+  void damage_all();
+  double busy() const;
+
+ private:
+  std::unordered_map<std::uint64_t, bool> active_;
+  std::unordered_set<std::uint64_t> watchers_;
+};
+
+}  // namespace mrca
