@@ -6,10 +6,24 @@
 #include <string>
 
 namespace mrca {
+namespace {
+
+/// User's rate share with `own` of `load` radios on a channel — the same
+/// arithmetic as detail::share, against the model's memoized tables.
+double load_share(const GameModel& model, ChannelId channel, RadioCount own,
+                  RadioCount load) {
+  if (own <= 0 || load <= 0) return 0.0;
+  return static_cast<double>(own) / static_cast<double>(load) *
+         model.rate(channel, load);
+}
+
+}  // namespace
 
 UtilityCache::UtilityCache(const GameModel& model,
                            const StrategyMatrix& strategies)
-    : model_(&model), num_channels_(model.config().num_channels) {
+    : model_(&model),
+      topology_(model.topology().get()),
+      num_channels_(model.config().num_channels) {
   rebuild(strategies);
 }
 
@@ -22,12 +36,44 @@ UtilityCache::UtilityCache(const Game& game, const StrategyMatrix& strategies)
 
 void UtilityCache::rebuild(const StrategyMatrix& strategies) {
   model_->validate(strategies);
+  tracked_ = &strategies;
   const std::size_t users = strategies.num_users();
   const double cost = model_->radio_cost();
   utilities_.assign(users, 0.0);
   welfare_ = 0.0;
   occupants_.assign(num_channels_, {});
   positions_.assign(users * num_channels_, kNotOccupant);
+  if (topology_ != nullptr) {
+    // Neighborhood mode: utilities come from per-user perceived loads, and
+    // welfare has no per-channel shortcut — it IS the sum of utilities.
+    perceived_.assign(users * num_channels_, 0);
+    for (UserId i = 0; i < users; ++i) {
+      for (ChannelId c = 0; c < num_channels_; ++c) {
+        RadioCount load = strategies.at(i, c);
+        for (const UserId j : topology_->neighbors(i)) {
+          load += strategies.at(j, c);
+        }
+        perceived(i, c) = load;
+      }
+    }
+    for (ChannelId c = 0; c < num_channels_; ++c) {
+      for (UserId i = 0; i < users; ++i) {
+        const RadioCount own = strategies.at(i, c);
+        if (own <= 0) continue;
+        const double value = load_share(*model_, c, own, perceived(i, c));
+        utilities_[i] += value;
+        welfare_ += value;
+        insert_occupant(i, c);
+      }
+    }
+    if (cost > 0.0) {
+      for (UserId i = 0; i < users; ++i) {
+        utilities_[i] -= cost * static_cast<double>(strategies.user_total(i));
+      }
+      welfare_ -= cost * static_cast<double>(strategies.total_deployed());
+    }
+    return;
+  }
   for (ChannelId c = 0; c < num_channels_; ++c) {
     const RadioCount load = strategies.channel_load(c);
     if (load <= 0) continue;
@@ -48,29 +94,69 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
   }
 }
 
+RadioCount UtilityCache::perceived_load(const StrategyMatrix& strategies,
+                                        UserId user,
+                                        ChannelId channel) const {
+  (void)strategies.at(user, channel);  // validates both ids
+  if (topology_ == nullptr) return strategies.channel_load(channel);
+  return perceived_[user * num_channels_ + channel];
+}
+
+void UtilityCache::check_tracked(const StrategyMatrix& strategies) const {
+  if (&strategies != tracked_) {
+    throw std::logic_error(
+        "UtilityCache: mutation through a matrix this cache does not track "
+        "(build the cache on it, or rebuild(), first)");
+  }
+}
+
 void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
                                    UserId user, ChannelId channel,
                                    RadioCount delta) {
   if (delta == 0) return;
-  const RadioCount old_load = strategies.channel_load(channel);
-  const RadioCount new_load = old_load + delta;
-  const double per_radio_old = model_->per_radio(channel, old_load);
-  const double per_radio_new = model_->per_radio(channel, new_load);
-  const double repricing = per_radio_new - per_radio_old;
-  if (repricing != 0.0) {
-    for (const UserId occupant : occupants_[channel]) {
-      utilities_[occupant] +=
-          static_cast<double>(strategies.at(occupant, channel)) * repricing;
-    }
-  }
   const double cost_delta =
       model_->radio_cost() * static_cast<double>(delta);
-  utilities_[user] +=
-      static_cast<double>(delta) * per_radio_new - cost_delta;
-  welfare_ += model_->rate(channel, new_load) -
-              model_->rate(channel, old_load) - cost_delta;
-
   const RadioCount old_own = strategies.at(user, channel);
+  if (topology_ != nullptr) {
+    // Only the mover's CLOSED NEIGHBORHOOD perceives the change — everyone
+    // else's loads, shares and utilities are untouched. O(degree), not
+    // O(occupants): the sparse-graph pruning the scale work leans on.
+    const auto update = [&](UserId j) {
+      RadioCount& load = perceived(j, channel);
+      const RadioCount own = strategies.at(j, channel);
+      const RadioCount own_after = own + (j == user ? delta : 0);
+      const double diff = load_share(*model_, channel, own_after,
+                                     load + delta) -
+                          load_share(*model_, channel, own, load);
+      utilities_[j] += diff;
+      welfare_ += diff;
+      load += delta;
+      ++reprice_touches_;
+    };
+    update(user);
+    for (const UserId j : topology_->neighbors(user)) update(j);
+    utilities_[user] -= cost_delta;
+    welfare_ -= cost_delta;
+  } else {
+    const RadioCount old_load = strategies.channel_load(channel);
+    const RadioCount new_load = old_load + delta;
+    const double per_radio_old = model_->per_radio(channel, old_load);
+    const double per_radio_new = model_->per_radio(channel, new_load);
+    const double repricing = per_radio_new - per_radio_old;
+    if (repricing != 0.0) {
+      for (const UserId occupant : occupants_[channel]) {
+        utilities_[occupant] +=
+            static_cast<double>(strategies.at(occupant, channel)) * repricing;
+        ++reprice_touches_;
+      }
+    }
+    utilities_[user] +=
+        static_cast<double>(delta) * per_radio_new - cost_delta;
+    ++reprice_touches_;
+    welfare_ += model_->rate(channel, new_load) -
+                model_->rate(channel, old_load) - cost_delta;
+  }
+
   if (old_own == 0 && delta > 0) insert_occupant(user, channel);
   if (old_own + delta == 0 && old_own > 0) erase_occupant(user, channel);
 }
@@ -82,6 +168,7 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
 
 void UtilityCache::add_radio(StrategyMatrix& strategies, UserId user,
                              ChannelId channel) {
+  check_tracked(strategies);
   (void)strategies.spare_radios(user);  // validates the user id
   if (strategies.user_total(user) >= model_->budget(user)) {
     throw std::logic_error("add_radio: user " + std::to_string(user) +
@@ -93,6 +180,7 @@ void UtilityCache::add_radio(StrategyMatrix& strategies, UserId user,
 
 void UtilityCache::remove_radio(StrategyMatrix& strategies, UserId user,
                                 ChannelId channel) {
+  check_tracked(strategies);
   if (strategies.at(user, channel) <= 0) {  // also validates both ids
     throw std::logic_error("remove_radio: user " + std::to_string(user) +
                            " has no radio on channel " +
@@ -104,6 +192,7 @@ void UtilityCache::remove_radio(StrategyMatrix& strategies, UserId user,
 
 void UtilityCache::move_radio(StrategyMatrix& strategies, UserId user,
                               ChannelId from, ChannelId to) {
+  check_tracked(strategies);
   if (strategies.at(user, from) <= 0) {
     throw std::logic_error("move_radio: user " + std::to_string(user) +
                            " has no radio on channel " +
@@ -119,6 +208,7 @@ void UtilityCache::move_radio(StrategyMatrix& strategies, UserId user,
 
 void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
                            std::span<const RadioCount> new_row) {
+  check_tracked(strategies);
   (void)strategies.row(user);  // validates the user id
   if (new_row.size() != num_channels_) {
     throw std::invalid_argument("set_row: wrong row width");

@@ -8,13 +8,19 @@
 //     weights not — decisions are weight-free; see GameModel::raw_utility),
 //   - the raw social welfare sum_c R_c(k_c) - cost * deployed,
 //   - per-channel occupant lists (users with k_{i,c} > 0),
-// and updates them under single-radio deltas in O(occupants of the changed
-// channels) instead of re-deriving them from the whole matrix; rate lookups
-// go through the model's memoized per-channel tables. Mutations go through
-// the cache (which forwards to the StrategyMatrix) so matrix and cache can
-// never drift apart structurally; utilities are maintained in floating
-// point incrementally and agree with the full recompute to ~1e-13 over any
-// realistic trajectory (regression-tested for every scenario kind).
+//   - under an interference topology, every user's PERCEIVED load
+//     P_i(c) (closed-neighborhood sum; see GameModel::perceived_load),
+// and updates them under single-radio deltas instead of re-deriving them
+// from the whole matrix; rate lookups go through the model's memoized
+// per-channel tables. In the single collision domain an activation reprices
+// the occupants of the changed channels; under a topology it reprices ONLY
+// the mover's closed neighborhood — on sparse graphs that is O(degree), the
+// pruning lever the million-user scale item wants (reprice_touches() is the
+// operation-count witness). Mutations go through the cache (which forwards
+// to the StrategyMatrix) so matrix and cache can never drift apart
+// structurally; utilities are maintained in floating point incrementally
+// and agree with the full recompute to ~1e-13 over any realistic
+// trajectory (regression-tested for every scenario kind).
 #pragma once
 
 #include <memory>
@@ -25,6 +31,7 @@
 #include "core/game_model.h"
 #include "core/rate_table.h"
 #include "core/strategy.h"
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace mrca {
@@ -53,10 +60,23 @@ class UtilityCache {
     return occupants_[channel];
   }
 
+  /// Perceived load P_user(channel) as tracked incrementally; equals the
+  /// global column sum when the model has no topology.
+  RadioCount perceived_load(const StrategyMatrix& strategies, UserId user,
+                            ChannelId channel) const;
+
+  /// Running count of per-user utility updates performed by repricing —
+  /// the operation-count witness that a sparse-graph activation touches
+  /// only the mover's closed neighborhood while the single collision
+  /// domain touches every occupant of the changed channels.
+  std::size_t reprice_touches() const noexcept { return reprice_touches_; }
+
   // Mutations: forward to `strategies` and update the cached values.
   // `strategies` must be the matrix this cache was built on (or last
-  // rebuilt from); passing a different matrix of the same shape corrupts
-  // the cache silently, so keep the pairing tight. Budget checks use the
+  // rebuilt from) — the PAIRING GUARD enforces it: every mutator compares
+  // the matrix address against the tracked one and throws std::logic_error
+  // on a mismatch, because updating cached values against a different
+  // same-shape matrix would corrupt them silently. Budget checks use the
   // model's PER-USER budgets, not just the matrix cap.
   void add_radio(StrategyMatrix& strategies, UserId user, ChannelId channel);
   void remove_radio(StrategyMatrix& strategies, UserId user, ChannelId channel);
@@ -65,7 +85,8 @@ class UtilityCache {
   void set_row(StrategyMatrix& strategies, UserId user,
                std::span<const RadioCount> new_row);
 
-  /// Recomputes everything from scratch (O(|N|*|C|)).
+  /// Recomputes everything from scratch (O(|N|*|C|), O(|N|*|C|*degree)
+  /// under a topology) and re-pairs the cache with `strategies`.
   void rebuild(const StrategyMatrix& strategies);
 
   /// Largest absolute disagreement between the cached utilities/welfare and
@@ -73,6 +94,8 @@ class UtilityCache {
   double max_drift(const StrategyMatrix& strategies) const;
 
  private:
+  /// The pairing guard behind every mutator.
+  void check_tracked(const StrategyMatrix& strategies) const;
   /// Repriced-utility update for one channel whose load changes by `delta`
   /// radios of `user` (the energy price of the delta is folded in). Must
   /// run BEFORE the matrix mutation (it reads the old counts).
@@ -83,17 +106,25 @@ class UtilityCache {
   std::size_t& position(UserId user, ChannelId channel) {
     return positions_[user * num_channels_ + channel];
   }
+  RadioCount& perceived(UserId user, ChannelId channel) {
+    return perceived_[user * num_channels_ + channel];
+  }
 
   static constexpr std::size_t kNotOccupant = static_cast<std::size_t>(-1);
 
   std::shared_ptr<const GameModel> owned_;  ///< set by the Game constructor
   const GameModel* model_;
+  const Topology* topology_ = nullptr;  ///< model's graph; null = global
+  const StrategyMatrix* tracked_ = nullptr;  ///< the paired matrix
   std::size_t num_channels_ = 0;
   std::vector<double> utilities_;
   double welfare_ = 0.0;
   std::vector<std::vector<UserId>> occupants_;
   // positions_[i*|C|+c]: index of user i in occupants_[c], or kNotOccupant.
   std::vector<std::size_t> positions_;
+  // perceived_[i*|C|+c]: P_i(c), maintained only under a topology.
+  std::vector<RadioCount> perceived_;
+  std::size_t reprice_touches_ = 0;
 };
 
 }  // namespace mrca

@@ -10,9 +10,19 @@
 // `RateAt` is any callable `double(ChannelId, RadioCount)` returning the
 // total rate of a channel at a load; `cost` is the per-radio energy price
 // (0 for the paper's game).
+//
+// `LoadAt` is any callable `RadioCount(ChannelId)` returning the load the
+// DEVIATING user experiences on a channel. The single-collision-domain
+// overloads below pass the global column sum; interference-graph models
+// pass the user's closed-neighborhood perceived load. Both satisfy the one
+// property the arithmetic relies on: moving the user's own radio changes
+// the load it sees by exactly +/-1 (the user is in its own closed
+// neighborhood), so every benefit formula generalizes by substituting the
+// accessor and nothing else.
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/analysis/deviation.h"
@@ -29,14 +39,15 @@ inline double share(double rate, RadioCount own, RadioCount load) {
   return static_cast<double>(own) / static_cast<double>(load) * rate;
 }
 
-template <typename RateAt>
+template <typename RateAt, typename LoadAt>
 double move_benefit_at(const StrategyMatrix& strategies, UserId user,
-                       ChannelId from, ChannelId to, RateAt rate_at) {
+                       ChannelId from, ChannelId to, RateAt rate_at,
+                       LoadAt load_at) {
   if (from == to) return 0.0;
   const RadioCount own_from = strategies.at(user, from);
   const RadioCount own_to = strategies.at(user, to);
-  const RadioCount load_from = strategies.channel_load(from);
-  const RadioCount load_to = strategies.channel_load(to);
+  const RadioCount load_from = load_at(from);
+  const RadioCount load_to = load_at(to);
   const double before = share(rate_at(from, load_from), own_from, load_from) +
                         share(rate_at(to, load_to), own_to, load_to);
   const double after =
@@ -45,63 +56,99 @@ double move_benefit_at(const StrategyMatrix& strategies, UserId user,
   return after - before;
 }
 
-/// Deploying one spare radio pays the energy price; a move is cost-neutral.
 template <typename RateAt>
+double move_benefit_at(const StrategyMatrix& strategies, UserId user,
+                       ChannelId from, ChannelId to, RateAt rate_at) {
+  return move_benefit_at(
+      strategies, user, from, to, rate_at,
+      [&](ChannelId c) { return strategies.channel_load(c); });
+}
+
+/// Deploying one spare radio pays the energy price; a move is cost-neutral.
+template <typename RateAt, typename LoadAt>
 double deploy_benefit_at(const StrategyMatrix& strategies, UserId user,
-                         ChannelId channel, RateAt rate_at, double cost) {
+                         ChannelId channel, RateAt rate_at, double cost,
+                         LoadAt load_at) {
   const RadioCount own = strategies.at(user, channel);
-  const RadioCount load = strategies.channel_load(channel);
+  const RadioCount load = load_at(channel);
   return share(rate_at(channel, load + 1), own + 1, load + 1) -
          share(rate_at(channel, load), own, load) - cost;
 }
 
+template <typename RateAt>
+double deploy_benefit_at(const StrategyMatrix& strategies, UserId user,
+                         ChannelId channel, RateAt rate_at, double cost) {
+  return deploy_benefit_at(
+      strategies, user, channel, rate_at, cost,
+      [&](ChannelId c) { return strategies.channel_load(c); });
+}
+
 /// Parking one radio refunds the energy price.
+template <typename RateAt, typename LoadAt>
+double park_benefit_at(const StrategyMatrix& strategies, UserId user,
+                       ChannelId channel, RateAt rate_at, double cost,
+                       LoadAt load_at) {
+  const RadioCount own = strategies.at(user, channel);
+  const RadioCount load = load_at(channel);
+  return share(rate_at(channel, load - 1), own - 1, load - 1) -
+         share(rate_at(channel, load), own, load) + cost;
+}
+
 template <typename RateAt>
 double park_benefit_at(const StrategyMatrix& strategies, UserId user,
                        ChannelId channel, RateAt rate_at, double cost) {
-  const RadioCount own = strategies.at(user, channel);
-  const RadioCount load = strategies.channel_load(channel);
-  return share(rate_at(channel, load - 1), own - 1, load - 1) -
-         share(rate_at(channel, load), own, load) + cost;
+  return park_benefit_at(
+      strategies, user, channel, rate_at, cost,
+      [&](ChannelId c) { return strategies.channel_load(c); });
 }
 
 /// Enumerates every single-radio change of `user` — deploys first (only
 /// when `has_spare`), then per-source parks and moves — feeding each
 /// candidate to `consider(SingleChange)`. The enumeration order is part of
 /// the determinism contract.
-template <typename RateAt, typename Consider>
+template <typename RateAt, typename LoadAt, typename Consider>
 void scan_single_changes(const StrategyMatrix& strategies, UserId user,
                          RateAt rate_at, double cost, bool has_spare,
-                         Consider&& consider) {
+                         LoadAt load_at, Consider&& consider) {
   const std::size_t channels = strategies.num_channels();
   for (ChannelId to = 0; to < channels; ++to) {
     if (has_spare) {
       consider(SingleChange{
           SingleChange::Kind::kDeploy, user, /*from=*/0, to,
-          deploy_benefit_at(strategies, user, to, rate_at, cost)});
+          deploy_benefit_at(strategies, user, to, rate_at, cost, load_at)});
     }
   }
   for (ChannelId from = 0; from < channels; ++from) {
     if (strategies.at(user, from) <= 0) continue;
     consider(SingleChange{
         SingleChange::Kind::kPark, user, from, /*to=*/0,
-        park_benefit_at(strategies, user, from, rate_at, cost)});
+        park_benefit_at(strategies, user, from, rate_at, cost, load_at)});
     for (ChannelId to = 0; to < channels; ++to) {
       if (to == from) continue;
       consider(SingleChange{
           SingleChange::Kind::kMove, user, from, to,
-          move_benefit_at(strategies, user, from, to, rate_at)});
+          move_benefit_at(strategies, user, from, to, rate_at, load_at)});
     }
   }
 }
 
-template <typename RateAt>
+template <typename RateAt, typename Consider>
+void scan_single_changes(const StrategyMatrix& strategies, UserId user,
+                         RateAt rate_at, double cost, bool has_spare,
+                         Consider&& consider) {
+  scan_single_changes(
+      strategies, user, rate_at, cost, has_spare,
+      [&](ChannelId c) { return strategies.channel_load(c); },
+      std::forward<Consider>(consider));
+}
+
+template <typename RateAt, typename LoadAt>
 std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
                                                UserId user, double tolerance,
                                                RateAt rate_at, double cost,
-                                               bool has_spare) {
+                                               bool has_spare, LoadAt load_at) {
   std::optional<SingleChange> best;
-  scan_single_changes(strategies, user, rate_at, cost, has_spare,
+  scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
                       [&](const SingleChange& candidate) {
                         if (candidate.benefit <= tolerance) return;
                         if (!best || candidate.benefit > best->benefit) {
@@ -112,12 +159,22 @@ std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
 }
 
 template <typename RateAt>
+std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
+                                               UserId user, double tolerance,
+                                               RateAt rate_at, double cost,
+                                               bool has_spare) {
+  return best_single_change(
+      strategies, user, tolerance, rate_at, cost, has_spare,
+      [&](ChannelId c) { return strategies.channel_load(c); });
+}
+
+template <typename RateAt, typename LoadAt>
 std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
                                             UserId user, double tolerance,
                                             RateAt rate_at, double cost,
-                                            bool has_spare) {
+                                            bool has_spare, LoadAt load_at) {
   std::vector<SingleChange> result;
-  scan_single_changes(strategies, user, rate_at, cost, has_spare,
+  scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
                       [&](const SingleChange& candidate) {
                         if (candidate.benefit > tolerance) {
                           result.push_back(candidate);
@@ -126,20 +183,32 @@ std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
   return result;
 }
 
+template <typename RateAt>
+std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
+                                            UserId user, double tolerance,
+                                            RateAt rate_at, double cost,
+                                            bool has_spare) {
+  return improving_changes(
+      strategies, user, tolerance, rate_at, cost, has_spare,
+      [&](ChannelId c) { return strategies.channel_load(c); });
+}
+
 /// Exact best response of `user` against the other users' radios under
 /// `budget`: maximize sum_c f_c(x_c), f_c(x) = x * R_c(L_c + x) / (L_c + x)
-/// - cost * x, with L_c the opponents' load on channel c, subject to
-/// sum_c x_c <= budget. O(|C| * budget^2) DP, no concavity assumption —
-/// an oracle over every deviation including partial deployment.
-template <typename RateAt>
+/// - cost * x, with L_c the opponents' load on channel c (global or
+/// neighborhood-perceived, per `load_at`), subject to sum_c x_c <= budget.
+/// O(|C| * budget^2) DP, no concavity assumption — an oracle over every
+/// deviation including partial deployment.
+template <typename RateAt, typename LoadAt>
 BestResponse best_response(const StrategyMatrix& strategies, UserId user,
-                           std::size_t budget, RateAt rate_at, double cost) {
+                           std::size_t budget, RateAt rate_at, double cost,
+                           LoadAt load_at) {
   const std::size_t channels = strategies.num_channels();
 
   // Opponents' load per channel.
   std::vector<RadioCount> opponent_load(channels);
   for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = strategies.channel_load(c) - strategies.at(user, c);
+    opponent_load[c] = load_at(c) - strategies.at(user, c);
   }
 
   // gain[c][x]: user's utility from placing x radios on channel c.
@@ -188,6 +257,14 @@ BestResponse best_response(const StrategyMatrix& strategies, UserId user,
     remaining -= x;
   }
   return response;
+}
+
+template <typename RateAt>
+BestResponse best_response(const StrategyMatrix& strategies, UserId user,
+                           std::size_t budget, RateAt rate_at, double cost) {
+  return best_response(
+      strategies, user, budget, rate_at, cost,
+      [&](ChannelId c) { return strategies.channel_load(c); });
 }
 
 }  // namespace detail

@@ -48,8 +48,10 @@ bool theorem1_preconditions_hold(const GameModel& model) {
   // Utility weights leave the equilibrium SET intact but break the "all NE
   // share one welfare" argument (weighted welfare depends on which users
   // sit where, not just on the load profile), so the closed forms abstain.
+  // An interference topology breaks the deeper assumption that "load" is
+  // one global column sum at all, so every closed form abstains there too.
   return model.uniform_rates() && model.uniform_budgets() &&
-         model.radio_cost() == 0.0 && !model.weighted();
+         model.radio_cost() == 0.0 && !model.weighted() && !model.topology();
 }
 
 std::vector<ConditionViolation> lemma2_violations(const StrategyMatrix& s) {
@@ -219,6 +221,14 @@ Theorem1Result check_theorem1(const GameModel& model,
     if (model.radio_cost() != 0.0) {
       if (!broken.empty()) broken += ", ";
       broken += "energy price";
+    }
+    if (model.weighted()) {
+      if (!broken.empty()) broken += ", ";
+      broken += "utility weights";
+    }
+    if (model.topology()) {
+      if (!broken.empty()) broken += ", ";
+      broken += "an interference topology";
     }
     result.violations.push_back(
         {"Theorem 1", 0, 0, 0,

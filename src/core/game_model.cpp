@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/stats.h"
 #include "core/analysis/deviation_detail.h"
@@ -61,11 +62,13 @@ GameModel::GameModel(GameConfig config,
 GameModel::GameModel(std::size_t num_channels,
                      std::vector<RadioCount> radio_budgets,
                      std::vector<std::shared_ptr<const RateFunction>> rates,
-                     double radio_cost, std::vector<double> utility_weights)
+                     double radio_cost, std::vector<double> utility_weights,
+                     std::shared_ptr<const Topology> topology)
     : config_(config_from_budgets(num_channels, radio_budgets)),
       budgets_(std::move(radio_budgets)),
       cost_(radio_cost),
-      weights_(std::move(utility_weights)) {
+      weights_(std::move(utility_weights)),
+      topology_(std::move(topology)) {
   if (rates.size() != 1 && rates.size() != num_channels) {
     throw std::invalid_argument(
         "GameModel: need one shared rate function or one per channel");
@@ -96,6 +99,20 @@ GameModel::GameModel(std::size_t num_channels,
     // keeps weighted() an exact "behaves differently" predicate and the
     // unweighted hot paths branch-free.
     if (all_unit) weights_.clear();
+  }
+  if (topology_) {
+    if (topology_->num_users() != budgets_.size()) {
+      throw std::invalid_argument(
+          "GameModel: topology covers " +
+          std::to_string(topology_->num_users()) + " user(s), game has " +
+          std::to_string(budgets_.size()));
+    }
+    // Normalize: the complete graph IS the single collision domain (every
+    // closed neighborhood is the whole user set), so dropping it — like the
+    // all-ones weight vector above — keeps topology() an exact "loads are
+    // neighborhood-local" predicate and `topology=complete` cells
+    // bit-identical to base cells by construction.
+    if (topology_->is_complete()) topology_.reset();
   }
   for (const RadioCount budget : budgets_) total_radios_ += budget;
   uniform_budgets_ = std::all_of(
@@ -154,10 +171,40 @@ void GameModel::validate(const StrategyMatrix& strategies) const {
   }
 }
 
+RadioCount GameModel::perceived_load_unchecked(const StrategyMatrix& strategies,
+                                               UserId user,
+                                               ChannelId channel) const {
+  RadioCount load = strategies.at(user, channel);
+  for (const UserId j : topology_->neighbors(user)) {
+    load += strategies.at(j, channel);
+  }
+  return load;
+}
+
+RadioCount GameModel::perceived_load(const StrategyMatrix& strategies,
+                                     UserId user, ChannelId channel) const {
+  check_matrix(strategies);
+  check_user(user);
+  if (channel >= config_.num_channels) {
+    throw std::out_of_range("GameModel: channel out of range");
+  }
+  if (!topology_) return strategies.channel_load(channel);
+  return perceived_load_unchecked(strategies, user, channel);
+}
+
 double GameModel::raw_utility_unchecked(const StrategyMatrix& strategies,
                                         UserId user) const {
   double total = 0.0;
   const auto row = strategies.row(user);
+  if (topology_) {
+    for (ChannelId c = 0; c < config_.num_channels; ++c) {
+      if (row[c] == 0) continue;
+      const RadioCount load = perceived_load_unchecked(strategies, user, c);
+      total += static_cast<double>(row[c]) / static_cast<double>(load) *
+               rate(c, load);
+    }
+    return total - cost_ * static_cast<double>(strategies.user_total(user));
+  }
   const auto loads = strategies.channel_loads();
   for (ChannelId c = 0; c < config_.num_channels; ++c) {
     if (row[c] == 0) continue;
@@ -201,9 +248,11 @@ std::vector<double> GameModel::utilities(
 
 double GameModel::welfare(const StrategyMatrix& strategies) const {
   validate(strategies);
-  if (!weights_.empty()) {
+  if (!weights_.empty() || topology_) {
     // Weighted welfare is sum_i w_i * U_i; the per-channel shortcut of
-    // raw_welfare only holds when every weight is 1.
+    // raw_welfare only holds when every weight is 1. Under a topology the
+    // shortcut breaks differently: shares are taken of DIFFERENT perceived
+    // loads, so welfare is only expressible as the sum of utilities.
     double total = 0.0;
     for (UserId i = 0; i < config_.num_users; ++i) {
       total += utility_unchecked(strategies, i);
@@ -215,6 +264,13 @@ double GameModel::welfare(const StrategyMatrix& strategies) const {
 
 double GameModel::raw_welfare(const StrategyMatrix& strategies) const {
   validate(strategies);
+  if (topology_) {
+    double total = 0.0;
+    for (UserId i = 0; i < config_.num_users; ++i) {
+      total += raw_utility_unchecked(strategies, i);
+    }
+    return total;
+  }
   double total = 0.0;
   const auto loads = strategies.channel_loads();
   for (ChannelId c = 0; c < config_.num_channels; ++c) {
@@ -224,6 +280,11 @@ double GameModel::raw_welfare(const StrategyMatrix& strategies) const {
 }
 
 double GameModel::optimal_welfare() const {
+  // The closed forms below reason about one global load per channel; under
+  // an interference graph the optimum additionally exploits spatial reuse
+  // and has no closed form. Abstain with NaN — coloring_bound() is the
+  // graph-aware achievable reference.
+  if (topology_) return std::numeric_limits<double>::quiet_NaN();
   // One radio per occupied channel is always optimal for non-increasing
   // R_c: extra radios on a channel never raise its total rate but always
   // pay the energy price. So the optimum picks the best single-occupancy
@@ -267,6 +328,47 @@ double GameModel::optimal_welfare() const {
   return total;
 }
 
+double GameModel::coloring_bound() const {
+  if (!topology_) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t chi = topology_->num_colors();
+  const std::size_t channels = config_.num_channels;
+  double total = 0.0;
+  for (UserId i = 0; i < config_.num_users; ++i) {
+    // Color class g owns the contiguous channel block [g*C/chi, (g+1)*C/chi).
+    // Same-color users are pairwise non-adjacent, so they reuse the block's
+    // channels at perceived load 1; adjacent users wear different colors and
+    // never share a channel.
+    const std::size_t g = topology_->color(i);
+    const std::size_t lo = g * channels / chi;
+    const std::size_t hi = (g + 1) * channels / chi;
+    const auto budget = static_cast<std::size_t>(budgets_[i]);
+    if (budget > hi - lo) {
+      // The construction can't place this user's radios on distinct block
+      // channels; the bound doesn't apply. Honest unknown, not a guess.
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    // Best `budget` channels of the block by single-occupancy rate, ties
+    // toward the lower channel id (deterministic; the sum is tie-invariant).
+    std::vector<std::pair<double, ChannelId>> scored;
+    scored.reserve(hi - lo);
+    for (ChannelId c = lo; c < hi; ++c) {
+      scored.emplace_back(rate(c, 1), c);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    double user_total = 0.0;
+    for (std::size_t r = 0; r < budget; ++r) {
+      // A channel that can't pay its energy price is better left idle.
+      user_total += std::max(scored[r].first - cost_, 0.0);
+    }
+    total += utility_weight(i) * user_total;
+  }
+  return total;
+}
+
 // The decision surfaces below are deliberately weight-free: a positive
 // weight scales every option of a user equally, so argmaxes, improving-move
 // predicates and equilibrium verdicts are identical to the base game's —
@@ -275,10 +377,22 @@ double GameModel::optimal_welfare() const {
 // cells). Utilities/benefits they return are raw too; apply
 // utility_weight() for valuation.
 
+// Under a topology the same shared scanners run with the mover's perceived
+// load substituted for the global column sum — deviation_detail.h's LoadAt
+// seam. The no-topology arms stay on the original overloads so existing
+// trajectories are bit-identical by construction.
+
 BestResponse GameModel::best_response(const StrategyMatrix& strategies,
                                       UserId user) const {
   check_matrix(strategies);
   check_user(user);
+  if (topology_) {
+    return detail::best_response(
+        strategies, user, static_cast<std::size_t>(budgets_[user]),
+        ModelRate{this}, cost_, [&](ChannelId c) {
+          return perceived_load_unchecked(strategies, user, c);
+        });
+  }
   return detail::best_response(strategies, user,
                                static_cast<std::size_t>(budgets_[user]),
                                ModelRate{this}, cost_);
@@ -288,6 +402,13 @@ std::optional<SingleChange> GameModel::best_single_change(
     const StrategyMatrix& strategies, UserId user, double tolerance) const {
   check_matrix(strategies);
   check_user(user);
+  if (topology_) {
+    return detail::best_single_change(
+        strategies, user, tolerance, ModelRate{this}, cost_,
+        strategies.user_total(user) < budgets_[user], [&](ChannelId c) {
+          return perceived_load_unchecked(strategies, user, c);
+        });
+  }
   return detail::best_single_change(
       strategies, user, tolerance, ModelRate{this}, cost_,
       strategies.user_total(user) < budgets_[user]);
@@ -297,6 +418,13 @@ std::vector<SingleChange> GameModel::improving_changes_for_user(
     const StrategyMatrix& strategies, UserId user, double tolerance) const {
   check_matrix(strategies);
   check_user(user);
+  if (topology_) {
+    return detail::improving_changes(
+        strategies, user, tolerance, ModelRate{this}, cost_,
+        strategies.user_total(user) < budgets_[user], [&](ChannelId c) {
+          return perceived_load_unchecked(strategies, user, c);
+        });
+  }
   return detail::improving_changes(
       strategies, user, tolerance, ModelRate{this}, cost_,
       strategies.user_total(user) < budgets_[user]);

@@ -34,6 +34,7 @@
 #include "core/game.h"
 #include "core/rate_table.h"
 #include "core/strategy.h"
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace mrca {
@@ -56,10 +57,14 @@ class GameModel {
   /// user, each finite and in [1e-4, 1e4] (bounded so weighted benefit
   /// comparisons keep noise headroom against kUtilityTolerance); an
   /// all-ones vector is normalized away so weighted() is false exactly
-  /// when the model behaves like the unweighted game.
+  /// when the model behaves like the unweighted game. `topology` is the
+  /// interference graph (null = single collision domain); a complete graph
+  /// is normalized away — exactly like all-ones weights — so topology() is
+  /// non-null exactly when loads are neighborhood-local.
   GameModel(std::size_t num_channels, std::vector<RadioCount> radio_budgets,
             std::vector<std::shared_ptr<const RateFunction>> rates,
-            double radio_cost = 0.0, std::vector<double> utility_weights = {});
+            double radio_cost = 0.0, std::vector<double> utility_weights = {},
+            std::shared_ptr<const Topology> topology = nullptr);
 
   /// Shape of compatible strategy matrices; the per-user cap is the LARGEST
   /// budget — `validate` enforces the individual budgets on top.
@@ -87,6 +92,33 @@ class GameModel {
   double utility_weight(UserId user) const {
     return weights_.empty() ? 1.0 : weights_[user];
   }
+
+  /// The interference graph, or null for the single collision domain (the
+  /// paper's game; complete graphs are normalized to null at construction,
+  /// so null is an exact "loads are global" predicate).
+  const std::shared_ptr<const Topology>& topology() const noexcept {
+    return topology_;
+  }
+
+  /// The load `user` experiences on `channel`: the global column sum for
+  /// the single collision domain, or the closed-neighborhood sum
+  /// k_{user,c} + sum_{j ~ user} k_{j,c} under a topology. This is the
+  /// LoadView every decision surface and utility reads — substituting it
+  /// for the global sum is the entire topology generalization, because
+  /// moving one's own radio shifts it by exactly +/-1 either way.
+  RadioCount perceived_load(const StrategyMatrix& strategies, UserId user,
+                            ChannelId channel) const;
+
+  /// Achievable-welfare reference under a topology via spatial reuse: the
+  /// DSATUR coloring partitions |C| channels into chi contiguous blocks;
+  /// color class g deploys one radio per channel on its best budget_i
+  /// channels of block g (proper coloring => perceived load 1 everywhere),
+  /// earning sum max(R_c(1) - cost, 0) weighted by w_i. NaN when no
+  /// topology is set, or when some user's budget exceeds its block (the
+  /// construction doesn't apply — honest unknown, not a wrong bound).
+  /// Because neighbors reuse disjoint blocks while non-neighbors reuse the
+  /// SAME channels, this can exceed the single-domain optimal_welfare().
+  double coloring_bound() const;
 
   /// The user's own throughput-minus-energy utility WITHOUT the valuation
   /// weight — what selfish play responds to. Equals utility() for
@@ -171,6 +203,9 @@ class GameModel {
   void check_matrix(const StrategyMatrix& strategies) const;
   /// O(1) budget check for ONE user (the per-activation subset).
   void check_user_budget(const StrategyMatrix& strategies, UserId user) const;
+  /// Closed-neighborhood load; requires topology_ set. O(degree).
+  RadioCount perceived_load_unchecked(const StrategyMatrix& strategies,
+                                      UserId user, ChannelId channel) const;
   double raw_utility_unchecked(const StrategyMatrix& strategies,
                                UserId user) const;
   double utility_unchecked(const StrategyMatrix& strategies,
@@ -184,6 +219,7 @@ class GameModel {
   std::vector<double> weights_;  ///< empty = every user weighs 1
   std::vector<std::shared_ptr<const RateFunction>> rates_;  // size 1 or |C|
   std::vector<RateTable> tables_;                           // parallel to rates_
+  std::shared_ptr<const Topology> topology_;  ///< null = single domain
 };
 
 }  // namespace mrca

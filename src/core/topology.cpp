@@ -1,0 +1,339 @@
+#include "core/topology.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace mrca {
+namespace {
+
+constexpr std::size_t kUncolored = static_cast<std::size_t>(-1);
+
+/// Every numeric field of a topology spec (distances, grid dimensions,
+/// edge endpoints) is a small structural integer; anything huge is a typo
+/// that would otherwise materialize a gigantic graph, so the parse rejects
+/// it the way ScenarioSpec bounds radio counts.
+constexpr int kMaxSpecValue = 1024;
+
+int parse_bounded_int(const std::string& text, const std::string& context,
+                      const char* what, int lo) {
+  int value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument(std::string("TopologySpec: bad ") + what +
+                                " '" + text + "' in '" + context + "'");
+  }
+  if (value < lo || value > kMaxSpecValue) {
+    throw std::invalid_argument(
+        std::string("TopologySpec: ") + what + " must be in [" +
+        std::to_string(lo) + ", " + std::to_string(kMaxSpecValue) +
+        "] in '" + context + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(separator, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Topology::Topology(std::size_t num_users,
+                   const std::vector<std::vector<UserId>>& adjacency) {
+  offsets_.reserve(num_users + 1);
+  offsets_.push_back(0);
+  for (UserId u = 0; u < num_users; ++u) {
+    std::vector<UserId> sorted = adjacency[u];
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    neighbors_.insert(neighbors_.end(), sorted.begin(), sorted.end());
+    offsets_.push_back(neighbors_.size());
+    max_degree_ = std::max(max_degree_, sorted.size());
+  }
+  color_dsatur();
+}
+
+Topology Topology::complete(std::size_t num_users) {
+  if (num_users == 0) {
+    throw std::invalid_argument("Topology: need at least one user");
+  }
+  std::vector<std::vector<UserId>> adjacency(num_users);
+  for (UserId i = 0; i < num_users; ++i) {
+    adjacency[i].reserve(num_users - 1);
+    for (UserId j = 0; j < num_users; ++j) {
+      if (j != i) adjacency[i].push_back(j);
+    }
+  }
+  return Topology(num_users, adjacency);
+}
+
+Topology Topology::ring(std::size_t num_users, int distance) {
+  if (num_users == 0) {
+    throw std::invalid_argument("Topology: need at least one user");
+  }
+  if (distance < 1) {
+    throw std::invalid_argument("Topology: ring distance must be >= 1");
+  }
+  std::vector<std::vector<UserId>> adjacency(num_users);
+  for (UserId i = 0; i < num_users; ++i) {
+    for (int t = 1; t <= distance; ++t) {
+      const auto step = static_cast<std::size_t>(t) % num_users;
+      if (step == 0) continue;  // wrapped all the way back to i
+      adjacency[i].push_back((i + step) % num_users);
+      adjacency[i].push_back((i + num_users - step) % num_users);
+    }
+  }
+  return Topology(num_users, adjacency);
+}
+
+Topology Topology::grid(std::size_t width, std::size_t height, int distance) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Topology: grid dimensions must be >= 1");
+  }
+  if (distance < 1) {
+    throw std::invalid_argument("Topology: grid distance must be >= 1");
+  }
+  const std::size_t num_users = width * height;
+  std::vector<std::vector<UserId>> adjacency(num_users);
+  const auto d = static_cast<std::ptrdiff_t>(distance);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const UserId i = y * width + x;
+      for (std::ptrdiff_t dy = -d; dy <= d; ++dy) {
+        const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
+        if (ny < 0 || ny >= static_cast<std::ptrdiff_t>(height)) continue;
+        for (std::ptrdiff_t dx = -d; dx <= d; ++dx) {
+          const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
+          if (nx < 0 || nx >= static_cast<std::ptrdiff_t>(width)) continue;
+          if (dx == 0 && dy == 0) continue;
+          adjacency[i].push_back(static_cast<std::size_t>(ny) * width +
+                                 static_cast<std::size_t>(nx));
+        }
+      }
+    }
+  }
+  return Topology(num_users, adjacency);
+}
+
+Topology Topology::from_edges(
+    std::size_t num_users,
+    const std::vector<std::pair<UserId, UserId>>& edges) {
+  if (num_users == 0) {
+    throw std::invalid_argument("Topology: need at least one user");
+  }
+  std::vector<std::vector<UserId>> adjacency(num_users);
+  for (const auto& [a, b] : edges) {
+    if (a == b) {
+      throw std::invalid_argument("Topology: self-loop edge on user " +
+                                  std::to_string(a));
+    }
+    if (a >= num_users || b >= num_users) {
+      throw std::invalid_argument(
+          "Topology: edge endpoint " + std::to_string(std::max(a, b)) +
+          " out of range for " + std::to_string(num_users) + " user(s)");
+    }
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  return Topology(num_users, adjacency);
+}
+
+void Topology::check_user(UserId user) const {
+  if (user >= num_users()) {
+    throw std::out_of_range("Topology: user out of range");
+  }
+}
+
+std::span<const UserId> Topology::neighbors(UserId user) const {
+  check_user(user);
+  return {neighbors_.data() + offsets_[user],
+          offsets_[user + 1] - offsets_[user]};
+}
+
+std::size_t Topology::degree(UserId user) const {
+  check_user(user);
+  return offsets_[user + 1] - offsets_[user];
+}
+
+bool Topology::adjacent(UserId a, UserId b) const {
+  const auto list = neighbors(a);
+  check_user(b);
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+void Topology::color_dsatur() {
+  const std::size_t n = num_users();
+  colors_.assign(n, kUncolored);
+  // seen[u][c]: a neighbor of u already wears color c. A proper coloring
+  // needs at most max_degree + 1 colors, so the palette is fixed up front.
+  const std::size_t palette = max_degree_ + 1;
+  std::vector<char> seen(n * palette, 0);
+  std::vector<std::size_t> saturation(n, 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    // DSATUR selection: highest saturation, then highest degree, then
+    // lowest id — all deterministic, so the coloring (and every bound
+    // derived from it) is a pure function of the graph.
+    std::size_t pick = kUncolored;
+    for (UserId u = 0; u < n; ++u) {
+      if (colors_[u] != kUncolored) continue;
+      if (pick == kUncolored || saturation[u] > saturation[pick] ||
+          (saturation[u] == saturation[pick] && degree(u) > degree(pick))) {
+        pick = u;
+      }
+    }
+    std::size_t color = 0;
+    while (seen[pick * palette + color] != 0) ++color;
+    colors_[pick] = color;
+    num_colors_ = std::max(num_colors_, color + 1);
+    for (const UserId v : neighbors(pick)) {
+      char& mark = seen[v * palette + color];
+      if (mark == 0) {
+        mark = 1;
+        ++saturation[v];
+      }
+    }
+  }
+}
+
+std::size_t Topology::color(UserId user) const {
+  check_user(user);
+  return colors_[user];
+}
+
+std::string TopologySpec::name() const {
+  switch (kind) {
+    case Kind::kComplete:
+      return "complete";
+    case Kind::kRing:
+      return "ring:" + std::to_string(ring_distance);
+    case Kind::kGrid:
+      return "grid:" + std::to_string(grid_width) + "x" +
+             std::to_string(grid_height) + ":" +
+             std::to_string(grid_distance);
+    case Kind::kEdges: {
+      std::string out = "edges";
+      for (const auto& [a, b] : edges) {
+        out += ':' + std::to_string(a) + '-' + std::to_string(b);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("TopologySpec: unknown kind");
+}
+
+TopologySpec TopologySpec::parse(const std::string& text) {
+  TopologySpec spec;
+  if (text == "complete") return spec;
+  if (text.rfind("ring:", 0) == 0) {
+    spec.kind = Kind::kRing;
+    spec.ring_distance =
+        parse_bounded_int(text.substr(5), text, "neighbor distance", 1);
+    return spec;
+  }
+  if (text.rfind("grid:", 0) == 0) {
+    const std::string rest = text.substr(5);
+    const std::size_t colon = rest.find(':');
+    const std::size_t cross = rest.find('x');
+    if (colon == std::string::npos || cross == std::string::npos ||
+        cross > colon) {
+      throw std::invalid_argument(
+          "TopologySpec: malformed grid '" + text +
+          "' (expected grid:<W>x<H>:<d>)");
+    }
+    spec.kind = Kind::kGrid;
+    spec.grid_width = static_cast<std::size_t>(
+        parse_bounded_int(rest.substr(0, cross), text, "grid dimension", 1));
+    spec.grid_height = static_cast<std::size_t>(parse_bounded_int(
+        rest.substr(cross + 1, colon - cross - 1), text, "grid dimension",
+        1));
+    spec.grid_distance =
+        parse_bounded_int(rest.substr(colon + 1), text, "neighbor distance",
+                          1);
+    return spec;
+  }
+  if (text.rfind("edges:", 0) == 0) {
+    spec.kind = Kind::kEdges;
+    for (const std::string& part : split(text.substr(6), ':')) {
+      const std::size_t dash = part.find('-');
+      if (dash == std::string::npos) {
+        throw std::invalid_argument("TopologySpec: bad edge '" + part +
+                                    "' in '" + text +
+                                    "' (expected <a>-<b>)");
+      }
+      const auto a = static_cast<UserId>(parse_bounded_int(
+          part.substr(0, dash), text, "edge endpoint", 0));
+      const auto b = static_cast<UserId>(parse_bounded_int(
+          part.substr(dash + 1), text, "edge endpoint", 0));
+      if (a == b) {
+        throw std::invalid_argument(
+            "TopologySpec: self-loop edge in '" + text + "'");
+      }
+      spec.edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    // Canonicalize (sorted, deduped) so parse(name()) is the identity and
+    // equal graphs compare equal as specs.
+    std::sort(spec.edges.begin(), spec.edges.end());
+    spec.edges.erase(std::unique(spec.edges.begin(), spec.edges.end()),
+                     spec.edges.end());
+    return spec;
+  }
+  throw std::invalid_argument(
+      "TopologySpec: unknown topology '" + text +
+      "' (expected complete | ring:<d> | grid:<W>x<H>:<d> | "
+      "edges:<a>-<b>:..)");
+}
+
+bool TopologySpec::compatible(std::size_t users) const noexcept {
+  if (users == 0) return false;
+  switch (kind) {
+    case Kind::kComplete:
+    case Kind::kRing:
+      return true;
+    case Kind::kGrid:
+      return grid_width * grid_height == users;
+    case Kind::kEdges:
+      for (const auto& [a, b] : edges) {
+        if (a >= users || b >= users) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const Topology> TopologySpec::materialize(
+    std::size_t users) const {
+  if (!compatible(users)) {
+    throw std::invalid_argument(
+        "TopologySpec: topology '" + name() + "' cannot describe " +
+        std::to_string(users) + " user(s)" +
+        (kind == Kind::kGrid ? " (grid pins W*H users)" : ""));
+  }
+  switch (kind) {
+    case Kind::kComplete:
+      return std::make_shared<const Topology>(Topology::complete(users));
+    case Kind::kRing:
+      return std::make_shared<const Topology>(
+          Topology::ring(users, ring_distance));
+    case Kind::kGrid:
+      return std::make_shared<const Topology>(
+          Topology::grid(grid_width, grid_height, grid_distance));
+    case Kind::kEdges:
+      return std::make_shared<const Topology>(
+          Topology::from_edges(users, edges));
+  }
+  throw std::logic_error("TopologySpec: unknown kind");
+}
+
+}  // namespace mrca

@@ -90,6 +90,8 @@ std::string ScenarioSpec::name() const {
       }
       return out;
     }
+    case Kind::kTopology:
+      return "topology=" + topology.name();
   }
   throw std::logic_error("ScenarioSpec: unknown kind");
 }
@@ -147,9 +149,21 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     }
     return spec;
   }
+  if (text.rfind("topology=", 0) == 0) {
+    TopologySpec parsed = TopologySpec::parse(text.substr(9));
+    // The complete graph IS the single collision domain; normalizing it to
+    // kBase here (mirroring GameModel's all-ones-weights normalization)
+    // makes "topology=complete" cells literally the base cells, so the
+    // bit-identity contract holds by construction.
+    if (parsed.kind == TopologySpec::Kind::kComplete) return spec;
+    spec.kind = Kind::kTopology;
+    spec.topology = std::move(parsed);
+    return spec;
+  }
   throw std::invalid_argument("ScenarioSpec: unknown scenario '" + text +
                               "' (expected base | energy=<c> | het=<s:..> | "
-                              "budgets=<k:..> | weights=<w:..>)");
+                              "budgets=<k:..> | weights=<w:..> | "
+                              "topology=<t>)");
 }
 
 std::vector<ScenarioSpec> ScenarioSpec::parse_list(const std::string& text) {
@@ -247,6 +261,10 @@ GameModel ScenarioSpec::make_model(
                        {std::move(base_rate)}, /*radio_cost=*/0.0,
                        std::move(weights));
     }
+    case Kind::kTopology:
+      return GameModel(channels, std::vector<RadioCount>(users, radios),
+                       {std::move(base_rate)}, /*radio_cost=*/0.0,
+                       /*utility_weights=*/{}, topology.materialize(users));
   }
   throw std::logic_error("ScenarioSpec: unknown kind");
 }

@@ -13,6 +13,12 @@
 //                   classes): dynamics and equilibria match the base game,
 //                   but utilities, welfare, efficiency and fairness are
 //                   reported in operator-weighted units
+//   topology=<t>    interference graph replacing the single collision
+//                   domain: loads become closed-neighborhood perceived
+//                   loads (core/topology.h documents the grammar —
+//                   complete | ring:<d> | grid:<W>x<H>:<d> |
+//                   edges:<a>-<b>:..). "topology=complete" normalizes to
+//                   base, so complete cells are bit-identical to base ones.
 //
 // A spec expands into a GameModel per cell; every future scenario is a new
 // Kind plus ~100 lines here, not a fourth game class and a fourth driver.
@@ -24,6 +30,7 @@
 
 #include "core/game_model.h"
 #include "core/rate_function.h"
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace mrca::engine {
@@ -35,7 +42,14 @@ namespace mrca::engine {
 std::string round_trip_double(double value);
 
 struct ScenarioSpec {
-  enum class Kind { kBase, kEnergy, kHeterogeneous, kBudgets, kWeights };
+  enum class Kind {
+    kBase,
+    kEnergy,
+    kHeterogeneous,
+    kBudgets,
+    kWeights,
+    kTopology,
+  };
 
   Kind kind = Kind::kBase;
   /// Energy price per deployed radio (kEnergy; >= 0).
@@ -50,10 +64,14 @@ struct ScenarioSpec {
   /// and in [1e-4, 1e4] — bounded so weighted benefit comparisons keep
   /// noise headroom against the dynamics tolerance).
   std::vector<double> weight_mix;
+  /// Interference graph (kTopology). Grids and edge lists pin or bound
+  /// their own user count; incompatible cells are skipped at expansion
+  /// (TopologySpec::compatible).
+  TopologySpec topology;
 
   /// Canonical spec string: "base", "energy=0.2", "het=2:1", "budgets=1:4",
-  /// "weights=2:1". parse(name()) is the identity, so distinct scenarios
-  /// never collide in CSV/JSON output.
+  /// "weights=2:1", "topology=ring:2". parse(name()) is the identity, so
+  /// distinct scenarios never collide in CSV/JSON output.
   std::string name() const;
 
   /// Parses one canonical spec string; throws std::invalid_argument on

@@ -85,6 +85,16 @@ RunRecord run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
       static_cast<double>(result.final_state.total_deployed());
   record.per_radio_spread = model.per_radio_spread(result.final_state);
   record.budget_fairness = model.budget_fairness(result.final_state);
+  // Topology columns: coloring_bound() is NaN for global-load models, so
+  // every column below is an honest "undefined" outside topology cells.
+  const double coloring = model.coloring_bound();
+  record.coloring_bound = coloring;
+  record.max_degree =
+      model.topology()
+          ? static_cast<double>(model.topology()->max_degree())
+          : kNaN;
+  record.graph_efficiency =
+      coloring > 0.0 ? record.welfare / coloring : kNaN;
 
   // Analysis metrics: evaluated inside this task against the cell's shared
   // read-only model. Stochastic metrics get their own decorrelated pure
@@ -359,6 +369,9 @@ void merge_cell_results(CellResult& into, const CellResult& from) {
   into.deployed.merge(from.deployed);
   into.per_radio_spread.merge(from.per_radio_spread);
   into.budget_fairness.merge(from.budget_fairness);
+  into.coloring_bound.merge(from.coloring_bound);
+  into.max_degree.merge(from.max_degree);
+  into.graph_efficiency.merge(from.graph_efficiency);
   for (std::size_t m = 0; m < into.metric_stats.size(); ++m) {
     into.metric_stats[m].merge(from.metric_stats[m]);
   }

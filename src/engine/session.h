@@ -125,6 +125,11 @@ struct RunRecord {
   double deployed = 0.0;
   double per_radio_spread = 0.0;
   double budget_fairness = 0.0;
+  /// Topology columns; NaN (skipped by aggregation) for non-topology cells.
+  double coloring_bound = 0.0;
+  double max_degree = 0.0;
+  /// welfare / coloring_bound (the graph-aware efficiency reference).
+  double graph_efficiency = 0.0;
   /// Flattened metric column values (empty when the spec has no metrics);
   /// NaN entries mean "undefined for this run".
   std::vector<double> metric_values;

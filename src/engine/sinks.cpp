@@ -49,6 +49,17 @@ void AggregatingSink::consume(const RunRecord& record) {
   aggregate.deployed.add(record.deployed);
   aggregate.per_radio_spread.add(record.per_radio_spread);
   aggregate.budget_fairness.add(record.budget_fairness);
+  // Topology columns are NaN for every non-topology cell: skipped the same
+  // way, so count() doubles as a "was this a topology cell" signal.
+  if (!std::isnan(record.coloring_bound)) {
+    aggregate.coloring_bound.add(record.coloring_bound);
+  }
+  if (!std::isnan(record.max_degree)) {
+    aggregate.max_degree.add(record.max_degree);
+  }
+  if (!std::isnan(record.graph_efficiency)) {
+    aggregate.graph_efficiency.add(record.graph_efficiency);
+  }
   for (std::size_t m = 0; m < record.metric_values.size(); ++m) {
     if (!std::isnan(record.metric_values[m])) {
       aggregate.metric_stats[m].add(record.metric_values[m]);
@@ -98,7 +109,10 @@ void RecordSink::consume(const RunRecord& record) {
       << ",\"load_imbalance\":" << json_number(record.load_imbalance)
       << ",\"deployed\":" << json_number(record.deployed)
       << ",\"per_radio_spread\":" << json_number(record.per_radio_spread)
-      << ",\"budget_fairness\":" << json_number(record.budget_fairness);
+      << ",\"budget_fairness\":" << json_number(record.budget_fairness)
+      << ",\"coloring_bound\":" << json_number(record.coloring_bound)
+      << ",\"max_degree\":" << json_number(record.max_degree)
+      << ",\"graph_efficiency\":" << json_number(record.graph_efficiency);
   if (!metric_columns_.empty()) {
     out << ",\"metrics\":{";
     for (std::size_t m = 0; m < record.metric_values.size(); ++m) {

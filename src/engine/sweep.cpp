@@ -164,6 +164,12 @@ std::vector<SweepSpec::Cell> SweepSpec::expand() const {
             } else if (ki != 0) {
               continue;
             }
+            // Grids pin W*H users and edge lists bound theirs; cells the
+            // graph cannot describe are skipped like k > |C| combinations.
+            if (scenario.kind == ScenarioSpec::Kind::kTopology &&
+                !scenario.topology.compatible(n)) {
+              continue;
+            }
             for (const ResponseGranularity granularity : granularities) {
               for (const ActivationOrder order : orders) {
                 for (const SweepStart start : starts) {

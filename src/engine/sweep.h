@@ -176,6 +176,16 @@ struct CellResult {
   /// Jain fairness over budget-normalized utilities U_i / k_i.
   RunningStats budget_fairness;
 
+  // Topology columns (NaN — and therefore skipped, count()==0 — for every
+  // non-topology cell, so adding them cost existing sweeps nothing).
+  /// Spatial-reuse achievable welfare (GameModel::coloring_bound).
+  RunningStats coloring_bound;
+  /// Interference graph's maximum degree (constant across replicates).
+  RunningStats max_degree;
+  /// welfare / coloring_bound — the graph-aware efficiency reference
+  /// (optimal_welfare, hence `efficiency`, is NaN under a topology).
+  RunningStats graph_efficiency;
+
   // Dynamic metric aggregates, parallel to SweepResult::metric_columns
   // (empty when the spec has no metrics). A run whose metric value is NaN
   // ("undefined here") is skipped, so `count()` reports how many runs had

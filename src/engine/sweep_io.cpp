@@ -99,6 +99,7 @@ std::string sweep_to_csv(const SweepResult& result) {
          "welfare_mean,welfare_min,welfare_max,efficiency_mean,"
          "anarchy_ratio_mean,fairness_mean,load_imbalance_mean,"
          "deployed_mean,per_radio_spread_mean,budget_fairness_mean,"
+         "coloring_bound_mean,max_degree_mean,graph_efficiency_mean,"
          "sim_runs,sim_total_bps_mean,sim_gap_mean,sim_gap_max,"
          "sim_fairness_mean,sim_imbalance_mean";
   // Dynamic metric block: <column>_mean and <column>_count per registered
@@ -128,6 +129,9 @@ std::string sweep_to_csv(const SweepResult& result) {
         << full_precision(cell.deployed.mean()) << ','
         << full_precision(cell.per_radio_spread.mean()) << ','
         << full_precision(cell.budget_fairness.mean()) << ','
+        << full_precision(skippable_mean(cell.coloring_bound)) << ','
+        << full_precision(skippable_mean(cell.max_degree)) << ','
+        << full_precision(skippable_mean(cell.graph_efficiency)) << ','
         << cell.sim_runs << ','
         << full_precision(cell.sim_total_bps.mean()) << ','
         << full_precision(cell.sim_gap.mean()) << ','
@@ -193,6 +197,12 @@ std::string sweep_to_json(const SweepResult& result) {
     append_stats_json(out, "per_radio_spread", cell.per_radio_spread);
     out << ',';
     append_stats_json(out, "budget_fairness", cell.budget_fairness);
+    out << ',';
+    append_stats_json(out, "coloring_bound", cell.coloring_bound);
+    out << ',';
+    append_stats_json(out, "max_degree", cell.max_degree);
+    out << ',';
+    append_stats_json(out, "graph_efficiency", cell.graph_efficiency);
     out << ",\"sim_runs\":" << cell.sim_runs << ',';
     append_stats_json(out, "sim_total_bps", cell.sim_total_bps);
     out << ',';
@@ -219,9 +229,12 @@ std::string sweep_to_json(const SweepResult& result) {
 std::string sweep_to_table(const SweepResult& result) {
   bool has_sim = false;
   bool has_scenario = false;
+  bool has_topology = false;
   for (const CellResult& cell : result.cells) {
     has_sim |= cell.sim_runs > 0;
     has_scenario |= cell.cell.scenario.kind != ScenarioSpec::Kind::kBase;
+    has_topology |=
+        cell.cell.scenario.kind == ScenarioSpec::Kind::kTopology;
   }
 
   std::vector<std::string> header = {
@@ -230,6 +243,9 @@ std::string sweep_to_table(const SweepResult& result) {
   if (has_scenario) {
     header.insert(header.begin() + 4, "scenario");
     header.insert(header.end(), {"deployed", "spread", "bfair"});
+  }
+  if (has_topology) {
+    header.insert(header.end(), {"color bound", "max deg", "geff"});
   }
   if (has_sim) {
     header.insert(header.end(),
@@ -258,6 +274,17 @@ std::string sweep_to_table(const SweepResult& result) {
       row.push_back(Table::fmt(cell.deployed.mean(), 2));
       row.push_back(Table::fmt(cell.per_radio_spread.mean(), 4));
       row.push_back(Table::fmt(cell.budget_fairness.mean(), 4));
+    }
+    if (has_topology) {
+      row.push_back(cell.coloring_bound.empty()
+                        ? "-"
+                        : Table::fmt(cell.coloring_bound.mean(), 4));
+      row.push_back(cell.max_degree.empty()
+                        ? "-"
+                        : Table::fmt(cell.max_degree.mean(), 0));
+      row.push_back(cell.graph_efficiency.empty()
+                        ? "-"
+                        : Table::fmt(cell.graph_efficiency.mean(), 4));
     }
     if (has_sim) {
       row.push_back(Table::fmt(cell.sim_total_bps.mean() / 1e6, 4));
@@ -570,6 +597,12 @@ SweepResult sweep_from_json(const std::string& text) {
                                             "per_radio_spread");
     cell.budget_fairness = stats_from_json(cell_json.at("budget_fairness"),
                                            "budget_fairness");
+    cell.coloring_bound = stats_from_json(cell_json.at("coloring_bound"),
+                                          "coloring_bound");
+    cell.max_degree = stats_from_json(cell_json.at("max_degree"),
+                                      "max_degree");
+    cell.graph_efficiency = stats_from_json(cell_json.at("graph_efficiency"),
+                                            "graph_efficiency");
     cell.sim_runs = as_count(cell_json.at("sim_runs"), "sim_runs");
     cell.sim_total_bps =
         stats_from_json(cell_json.at("sim_total_bps"), "sim_total_bps");

@@ -236,4 +236,59 @@ TEST(CliDeterminism, SimTierCsvIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.output, eight.output);
 }
 
+TEST(CliTopology, MalformedSpecsNameTheFlagAndExit2) {
+  // Each malformed topology must be rejected up front (exit 2), name the
+  // offending flag, and echo the bad spec so the typo is findable.
+  const char* bad[] = {
+      "topology=bogus",      // unknown graph family
+      "topology=ring:0",     // zero distance
+      "topology=ring:9999",  // beyond the 1024 sanity bound
+      "topology=grid:3x:1",  // non-square malformed grid
+      "topology=grid:3x3",   // missing distance
+      "topology=edges:0-0",  // self-loop
+      "topology=edges:0",    // not an edge
+  };
+  for (const char* spec : bad) {
+    const CliResult result =
+        run_cli(std::string("sweep --users 4 --channels 4 --scenario \"") +
+                spec + "\"");
+    EXPECT_EQ(result.exit_code, 2) << spec;
+    EXPECT_NE(result.output.find("--scenario"), std::string::npos) << spec;
+  }
+}
+
+TEST(CliTopology, SweepCarriesTheTopologyColumns) {
+  const CliResult result = run_cli(
+      "sweep --users 6 --channels 4 --radios 2 "
+      "--scenario \"topology=ring:1\" --replicates 2 --format csv");
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("coloring_bound_mean"), std::string::npos);
+  EXPECT_NE(result.output.find("topology=ring:1"), std::string::npos);
+}
+
+TEST(CliTopology, CompleteTopologyNormalizesToBase) {
+  // topology=complete is the degenerate global-load case; the parser folds
+  // it into the base scenario so the cells are LITERALLY base cells.
+  const std::string common =
+      "sweep --users 4,6 --channels 4 --radios 1,2 --rates tdma,powerlaw=1 "
+      "--replicates 2 --seed 5 --format csv --scenario ";
+  const CliResult base = run_cli(common + "base");
+  const CliResult complete = run_cli(common + "\"topology=complete\"");
+  ASSERT_EQ(base.exit_code, 0);
+  ASSERT_EQ(complete.exit_code, 0);
+  EXPECT_EQ(base.output, complete.output);
+}
+
+TEST(CliTopology, TopologyCsvIsIdenticalAcrossThreadCounts) {
+  const std::string common =
+      "sweep --users 4:8:2 --channels 4 --radios 1,2 --rates powerlaw=1 "
+      "--scenario \"base;topology=ring:2;topology=grid:2x2:1\" "
+      "--replicates 3 --seed 9 --format csv";
+  const CliResult one = run_cli(common + " --threads 1");
+  const CliResult eight = run_cli(common + " --threads 8");
+  ASSERT_EQ(one.exit_code, 0);
+  ASSERT_EQ(eight.exit_code, 0);
+  EXPECT_EQ(one.output, eight.output);
+}
+
 }  // namespace

@@ -412,5 +412,98 @@ TEST(ScenarioSweep, SimTierReplaysExtensionAllocationsThroughTheDes) {
   }
 }
 
+ScenarioSpec topology(const std::string& text) {
+  return ScenarioSpec::parse("topology=" + text);
+}
+
+TEST(TopologyScenario, NameParseRoundTripsAndCompleteNormalizesToBase) {
+  for (const char* text : {"ring:1", "ring:2", "grid:2x3:1", "edges:0-2:1-3"}) {
+    const ScenarioSpec spec = topology(text);
+    EXPECT_EQ(spec.kind, ScenarioSpec::Kind::kTopology);
+    EXPECT_EQ(spec.name(), std::string("topology=") + text);
+    EXPECT_EQ(ScenarioSpec::parse(spec.name()), spec) << text;
+  }
+  // The complete graph IS the single collision domain: parsed straight to
+  // the base kind, so its cells are literally base cells (the byte-identity
+  // contract holds by construction, not by luck).
+  EXPECT_EQ(topology("complete").kind, ScenarioSpec::Kind::kBase);
+  EXPECT_EQ(topology("complete"), ScenarioSpec{});
+  EXPECT_THROW(topology("bogus"), std::invalid_argument);
+  EXPECT_THROW(topology("ring:0"), std::invalid_argument);
+  EXPECT_THROW(topology("grid:3x:1"), std::invalid_argument);
+}
+
+TEST(TopologyScenario, ExpansionSkipsCellsTheGraphCannotDescribe) {
+  SweepSpec spec;
+  spec.users = {4, 6, 9};
+  spec.channels = {4};
+  spec.radios = {1};
+  spec.scenarios = {ScenarioSpec{}, topology("grid:3x3:1"),
+                    topology("edges:0-5")};
+  const auto cells = spec.expand();
+  // base crosses all three user counts; the 3x3 grid pins N=9; the edge
+  // list needs user 5 to exist (N >= 6).
+  ASSERT_EQ(cells.size(), 3u + 1u + 2u);
+  for (const auto& cell : cells) {
+    if (cell.scenario.kind != ScenarioSpec::Kind::kTopology) continue;
+    EXPECT_TRUE(cell.scenario.topology.compatible(cell.users))
+        << cell.scenario.name() << " @ N=" << cell.users;
+  }
+}
+
+TEST(TopologySweep, CsvAndJsonBitIdenticalAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.users = {4, 6};
+  spec.channels = {4};
+  spec.radios = {1, 2};
+  spec.rates = {RateSpec::parse("powerlaw=1")};
+  spec.scenarios = {ScenarioSpec{}, topology("ring:1"), topology("ring:2")};
+  spec.replicates = 3;
+  spec.base_seed = 17;
+  const SweepResult one = engine::run_sweep(spec, SweepOptions{1});
+  const SweepResult eight = engine::run_sweep(spec, SweepOptions{8});
+  EXPECT_EQ(engine::sweep_to_csv(one), engine::sweep_to_csv(eight));
+  EXPECT_EQ(engine::sweep_to_json(one), engine::sweep_to_json(eight));
+}
+
+TEST(TopologySweep, WritersCarryTheTopologyColumns) {
+  SweepSpec spec;
+  spec.users = {6};
+  spec.channels = {4};
+  spec.radios = {1};
+  spec.scenarios = {ScenarioSpec{}, topology("ring:1")};
+  spec.replicates = 2;
+  const SweepResult result = engine::run_sweep(spec);
+  const std::string csv = engine::sweep_to_csv(result);
+  EXPECT_NE(csv.find("coloring_bound_mean,max_degree_mean,"
+                     "graph_efficiency_mean"),
+            std::string::npos);
+  EXPECT_NE(csv.find("topology=ring:1"), std::string::npos);
+  const std::string json = engine::sweep_to_json(result);
+  EXPECT_NE(json.find("\"coloring_bound\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph_efficiency\""), std::string::npos);
+  std::string why;
+  EXPECT_TRUE(mrca::testing::is_strict_json(json, &why)) << why;
+  // JSON round-trips losslessly, topology stats included.
+  const SweepResult reloaded = engine::sweep_from_json(json);
+  EXPECT_EQ(engine::sweep_to_csv(reloaded), csv);
+  const std::string table = engine::sweep_to_table(result);
+  EXPECT_NE(table.find("color bound"), std::string::npos);
+  // The base cell has no graph: its topology cells print the '-' sentinel.
+  EXPECT_NE(table.find(" - "), std::string::npos);
+
+  // The ring cell's aggregates are populated and the base cell's are not
+  // (NaN-skip keeps count() an honest topology-cell signal).
+  ASSERT_EQ(result.cells.size(), 2u);
+  const CellResult& base_cell = result.cells[0];
+  const CellResult& ring_cell = result.cells[1];
+  EXPECT_EQ(base_cell.coloring_bound.count(), 0u);
+  EXPECT_GT(ring_cell.coloring_bound.count(), 0u);
+  EXPECT_DOUBLE_EQ(ring_cell.max_degree.mean(), 2.0);
+  // chi(C6) = 2 over 4 channels: blocks of 2, every user earns rate 1 on
+  // each of its block's channels... budget 1 => bound = 6 * R(1) = 6.
+  EXPECT_DOUBLE_EQ(ring_cell.coloring_bound.mean(), 6.0);
+}
+
 }  // namespace
 }  // namespace mrca

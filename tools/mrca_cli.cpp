@@ -19,7 +19,7 @@
 //   --users / --channels / --radios             grid axes (e.g. 2:40 or 4,8)
 //   --rates tdma|powerlaw=<a>|geom=<d>|linear=<s>  comma list
 //   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>|weights=<w:..>
-//                                               scenario axis (',' lists
+//              |topology=<t>                    scenario axis (',' lists
 //                                               values, ';' separates kinds)
 //   --metrics nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,
 //             convergence,distributed           per-run analysis columns
@@ -119,8 +119,10 @@ struct CliOptions {
       "                         | geom=<decay> | linear=<slope>\n"
       "scenarios (sweep):  base | energy=<cost,..> | het=<scale:scale,..>\n"
       "                  | budgets=<k:k:..,..> | weights=<w:w:..,..>\n"
+      "                  | topology=<complete | ring:<d> | grid:<W>x<H>:<d>\n"
+      "                  |           edges:<a>-<b>:..>\n"
       "                  (';' separates kinds, e.g.\n"
-      "                  --scenario \"energy=0.1,0.3;het=2:1;weights=2:1\")\n"
+      "                  --scenario \"energy=0.1,0.3;het=2:1;topology=ring:2\")\n"
       "metrics (sweep):    comma list of nash | single_move | theorem1\n"
       "                  | poa | welfare_eff | pareto | fairness\n"
       "                  | convergence | distributed, evaluated per run and\n"
@@ -474,7 +476,11 @@ int cmd_sweep(const CliOptions& options) {
     spec.radios.push_back(static_cast<RadioCount>(k));
   }
   spec.rates = parse_enum_list(options.rates_list, parse_rate_spec);
-  spec.scenarios = engine::ScenarioSpec::parse_list(options.scenario_list);
+  try {
+    spec.scenarios = engine::ScenarioSpec::parse_list(options.scenario_list);
+  } catch (const std::invalid_argument& error) {
+    usage(std::string(error.what()) + " for --scenario");
+  }
   if (!options.metrics_list.empty()) {
     try {
       spec.metrics = MetricSet::parse_list(options.metrics_list);

@@ -1,0 +1,11 @@
+// Fixture: core-layer file reaching up into the engine (R4
+// include-hygiene — src/core and src/common sit below the engine and must
+// not depend on it; core/topology.h is engine-visible for exactly that
+// reason).
+#pragma once
+
+#include "engine/sweep.h"
+
+namespace mrca {
+int bad_layering();
+}  // namespace mrca

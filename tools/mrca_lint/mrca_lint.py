@@ -247,6 +247,18 @@ def check_include_hygiene(path: Path, rel: str, text: str) -> list[Finding]:
                     f"engine header includes {inc}; engine headers take "
                     f"stream types via <iosfwd> only (keeps the hot-path "
                     f"rebuild surface small)."))
+    if rel.startswith(("src/core/", "src/common/")):
+        # Layering: core (the game/topology kernel) and common must never
+        # reach up into the engine — engine depends on core, not the other
+        # way around (core/topology.h is engine-visible precisely because
+        # it lives below the engine layer).
+        for inc, line in includes:
+            if inc.startswith('"engine/'):
+                findings.append(Finding(
+                    "include-hygiene", path, line,
+                    f"core-layer file includes {inc}; src/core and "
+                    f"src/common sit below the engine and must not depend "
+                    f"on it."))
     return findings
 
 

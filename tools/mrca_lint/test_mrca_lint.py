@@ -63,15 +63,17 @@ class ViolationFixtures(unittest.TestCase):
         hits = findings_by(self.findings, rule="include-hygiene")
         by_file = Counter(f.path.name for f in hits)
         self.assertEqual(by_file, Counter({"bad_header.h": 2,
-                                           "bad_order.cpp": 1}))
+                                           "bad_order.cpp": 1,
+                                           "bad_layer.h": 1}))
         messages = " ".join(f.message for f in hits)
         self.assertIn("<iostream>", messages)
         self.assertIn("relative include", messages)
         self.assertIn("own header", messages)
+        self.assertIn("below the engine", messages)
 
     def test_total_findings_accounted_for(self):
         # No rule may fire where the fixtures did not seed a violation.
-        self.assertEqual(len(self.findings), 6 + 2 + 3 + 3)
+        self.assertEqual(len(self.findings), 6 + 2 + 3 + 4)
 
 
 class CleanFixtures(unittest.TestCase):
