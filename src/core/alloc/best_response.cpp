@@ -1,13 +1,23 @@
 #include "core/alloc/best_response.h"
 
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
 #include "core/alloc/utility_cache.h"
 #include "core/analysis/deviation.h"
+#include "core/analysis/deviation_detail.h"
 
 namespace mrca {
 namespace {
+
+/// Per-run scratch for the pruned cached path: the flat scan kernels and
+/// the dirty-channel list are reused across millions of activations with
+/// zero per-activation allocation.
+struct ScanScratch {
+  detail::ScanBuffers buffers;
+  std::vector<ChannelId> dirty;
+};
 
 void apply_change(StrategyMatrix& strategies, const SingleChange& change,
                   UtilityCache* cache) {
@@ -36,10 +46,92 @@ void apply_change(StrategyMatrix& strategies, const SingleChange& change,
   }
 }
 
+/// The pruned cached activation. plan_scan has already ruled out kSkip;
+/// single-move granularities scan through the cache's O(1) tracked loads
+/// (identical values to the model's accessors, so identical candidates),
+/// narrowed to the dirty channels when the plan allows. Best-response
+/// granularity has no partial DP — any dirty channel means a full oracle
+/// run — so it only benefits from kSkip, which is where the per-user DP
+/// cost actually lives at scale.
+bool activate_pruned(const GameModel& model, StrategyMatrix& strategies,
+                     UserId user, const DynamicsOptions& options, Rng* rng,
+                     UtilityCache& cache, UtilityCache::ScanPlan plan,
+                     ScanScratch& scratch) {
+  const auto rate_at = [&](ChannelId c, RadioCount load) {
+    return model.rate(c, load);
+  };
+  const auto load_at = [&](ChannelId c) { return cache.load_seen(user, c); };
+  const bool partial = plan == UtilityCache::ScanPlan::kDirtyChannels;
+  switch (options.granularity) {
+    case ResponseGranularity::kBestResponse: {
+      const double current = cache.utility(user);
+      BestResponse response = model.best_response(strategies, user);
+      const bool improved = response.utility > current + options.tolerance;
+      if (improved) cache.set_row(strategies, user, response.strategy);
+      cache.note_scan(user, improved);
+      return improved;
+    }
+    case ResponseGranularity::kBestSingleMove: {
+      const bool has_spare =
+          strategies.user_total(user) < model.budget(user);
+      const auto change =
+          partial ? detail::best_single_change_pruned(
+                        strategies, user, options.tolerance, rate_at,
+                        model.radio_cost(), has_spare, load_at,
+                        scratch.dirty, scratch.buffers)
+                  : detail::best_single_change(
+                        strategies, user, options.tolerance, rate_at,
+                        model.radio_cost(), has_spare, load_at,
+                        scratch.buffers);
+      if (change) apply_change(strategies, *change, &cache);
+      cache.note_scan(user, change.has_value());
+      return change.has_value();
+    }
+    case ResponseGranularity::kRandomImprovingMove: {
+      // A pruned scan lists EXACTLY the candidates above tolerance the
+      // full scan would, in the same order — so the uniform draw below
+      // sees the same set and consumes the same Rng stream.
+      const bool has_spare =
+          strategies.user_total(user) < model.budget(user);
+      const std::vector<SingleChange> improving =
+          partial ? detail::improving_changes_pruned(
+                        strategies, user, options.tolerance, rate_at,
+                        model.radio_cost(), has_spare, load_at,
+                        scratch.dirty, scratch.buffers)
+                  : detail::improving_changes(
+                        strategies, user, options.tolerance, rate_at,
+                        model.radio_cost(), has_spare, load_at,
+                        scratch.buffers);
+      if (improving.empty()) {
+        cache.note_scan(user, false);
+        return false;
+      }
+      apply_change(strategies, improving[rng->index(improving.size())],
+                   &cache);
+      cache.note_scan(user, true);
+      return true;
+    }
+  }
+  throw std::logic_error("run_response_dynamics: unknown granularity");
+}
+
 /// Applies the user's response; returns true if the allocation changed.
-/// `cache` is null on the full-recompute path.
+/// `cache` is null on the full-recompute path; `prune` routes through the
+/// dirty-channel plan (bit-identical results, see activate_pruned).
 bool activate(const GameModel& model, StrategyMatrix& strategies, UserId user,
-              const DynamicsOptions& options, Rng* rng, UtilityCache* cache) {
+              const DynamicsOptions& options, Rng* rng, UtilityCache* cache,
+              bool prune, ScanScratch& scratch) {
+  if (prune) {
+    const UtilityCache::ScanPlan plan = cache->plan_scan(user, scratch.dirty);
+    if (plan == UtilityCache::ScanPlan::kSkip) {
+      // Proven no-op: the user's last completed scan found nothing above
+      // tolerance and nothing it saw has changed since. No Rng is drawn —
+      // the full scan's improving set would be empty too.
+      return false;
+    }
+    return activate_pruned(model, strategies, user, options, rng, *cache,
+                           plan, scratch);
+  }
   switch (options.granularity) {
     case ResponseGranularity::kBestResponse: {
       // Raw units on both sides (cache tracks raw; the DP is weight-free):
@@ -76,6 +168,17 @@ bool activate(const GameModel& model, StrategyMatrix& strategies, UserId user,
   throw std::logic_error("run_response_dynamics: unknown granularity");
 }
 
+/// The run's activation budget: max_passes (in units of full passes over
+/// the users) wins over the absolute max_activations when set, saturating
+/// instead of overflowing.
+std::size_t activation_budget(const DynamicsOptions& options,
+                              std::size_t users) {
+  if (options.max_passes == 0) return options.max_activations;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (options.max_passes > kMax / users) return kMax;
+  return options.max_passes * users;
+}
+
 }  // namespace
 
 DynamicsResult run_response_dynamics(const GameModel& model,
@@ -90,11 +193,15 @@ DynamicsResult run_response_dynamics(const GameModel& model,
         "run_response_dynamics: this configuration requires an Rng");
   }
   const std::size_t users = model.config().num_users;
-  DynamicsResult result{false, 0, 0, start, {}};
+  DynamicsResult result{false, 0, 0, start, {}, 0, 0};
   StrategyMatrix& state = result.final_state;
   std::optional<UtilityCache> cache;
   if (options.use_incremental_cache) cache.emplace(model, state);
   UtilityCache* cache_ptr = cache ? &*cache : nullptr;
+  const bool prune =
+      options.use_dirty_channel_pruning && cache_ptr != nullptr;
+  if (prune) cache_ptr->enable_scan_pruning();
+  ScanScratch scratch;
   const auto current_welfare = [&] {
     // Raw welfare on both paths: the trace measures the spectrum's
     // throughput economy, not the operator's valuation of it.
@@ -107,15 +214,17 @@ DynamicsResult run_response_dynamics(const GameModel& model,
   // A streak of `users` quiet activations triggers an exact verification
   // pass over every user; convergence is declared only when that pass finds
   // no improvement, so `converged` is a proof for both activation orders.
+  const std::size_t budget = activation_budget(options, users);
   std::size_t quiet_streak = 0;
   UserId next_user = 0;
-  while (result.activations < options.max_activations) {
+  while (result.activations < budget) {
     const UserId user = options.order == ActivationOrder::kRoundRobin
                             ? next_user
                             : static_cast<UserId>(rng->index(users));
     next_user = (next_user + 1) % users;
     ++result.activations;
-    if (activate(model, state, user, options, rng, cache_ptr)) {
+    if (activate(model, state, user, options, rng, cache_ptr, prune,
+                 scratch)) {
       ++result.improving_steps;
       quiet_streak = 0;
       if (options.record_welfare_trace) {
@@ -134,7 +243,8 @@ DynamicsResult run_response_dynamics(const GameModel& model,
     bool any_improvement = false;
     for (UserId verify = 0; verify < users; ++verify) {
       ++result.activations;
-      if (activate(model, state, verify, options, rng, cache_ptr)) {
+      if (activate(model, state, verify, options, rng, cache_ptr, prune,
+                   scratch)) {
         any_improvement = true;
         ++result.improving_steps;
         if (options.record_welfare_trace) {
@@ -148,6 +258,10 @@ DynamicsResult run_response_dynamics(const GameModel& model,
       break;
     }
     quiet_streak = 0;
+  }
+  if (cache_ptr) {
+    result.scan_skips = cache_ptr->scan_skips();
+    result.reprice_touches = cache_ptr->reprice_touches();
   }
   return result;
 }

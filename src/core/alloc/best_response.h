@@ -40,6 +40,13 @@ struct DynamicsOptions {
   ActivationOrder order = ActivationOrder::kRoundRobin;
   /// Give up after this many user activations without convergence.
   std::size_t max_activations = 100000;
+  /// When nonzero, the activation budget becomes max_passes * |N| instead
+  /// of max_activations (saturating at SIZE_MAX, so a huge pass count
+  /// cannot overflow into a tiny budget). This is the scale-safe knob: the
+  /// default max_activations is smaller than ONE round-robin pass at 10^6
+  /// users, so absolute budgets stop meaning "rounds of play" long before
+  /// million-user cells.
+  std::size_t max_passes = 0;
   double tolerance = kUtilityTolerance;
   /// Record welfare after every improving step (for convergence plots).
   bool record_welfare_trace = false;
@@ -48,6 +55,14 @@ struct DynamicsOptions {
   /// recomputing them from the full matrix. Same trajectories, much faster;
   /// off reproduces the full-recompute path for A/B benchmarks.
   bool use_incremental_cache = true;
+  /// Dirty-channel scan pruning (requires the incremental cache; ignored
+  /// without it): consult UtilityCache::plan_scan before each activation
+  /// and skip — or narrow to the changed channels — every deviation scan
+  /// the cache's memo proves redundant. Trajectories are bit-identical to
+  /// the unpruned path (regression-tested per scenario kind); off
+  /// reproduces the full-scan path for A/B benchmarks.
+  /// DynamicsResult::scan_skips is the operation-count witness.
+  bool use_dirty_channel_pruning = true;
 };
 
 struct DynamicsResult {
@@ -58,6 +73,11 @@ struct DynamicsResult {
   std::size_t improving_steps = 0;
   StrategyMatrix final_state;
   std::vector<double> welfare_trace;
+  /// Activations resolved as proven O(1) no-ops by dirty-channel pruning
+  /// (0 on the uncached or unpruned paths).
+  std::size_t scan_skips = 0;
+  /// Per-user utility updates performed by cache repricing (0 uncached).
+  std::size_t reprice_touches = 0;
 };
 
 /// Runs the dynamics from `start` until stable or the activation budget is

@@ -38,32 +38,54 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
   model_->validate(strategies);
   tracked_ = &strategies;
   const std::size_t users = strategies.num_users();
+  if (users >= static_cast<std::size_t>(kNotOccupant)) {
+    throw std::invalid_argument(
+        "UtilityCache: occupant indexing caps users at 2^32-2");
+  }
   const double cost = model_->radio_cost();
   utilities_.assign(users, 0.0);
   welfare_ = 0.0;
   occupants_.assign(num_channels_, {});
   positions_.assign(users * num_channels_, kNotOccupant);
+
+  // Occupant prepass: one ascending walk over each user's occupied
+  // channels. Appending user-major builds every occupants_ list in
+  // ascending user order — exactly the order the previous column scans
+  // produced, which the utility summations below depend on for
+  // bit-stability. own_on_channel mirrors occupants_ so the hot loops
+  // below never re-query the (possibly sparse) matrix cell by cell.
+  std::vector<std::vector<RadioCount>> own_on_channel(num_channels_);
+  for (UserId i = 0; i < users; ++i) {
+    strategies.for_each_row_entry(i, [&](ChannelId c, RadioCount own) {
+      position(i, c) = static_cast<std::uint32_t>(occupants_[c].size());
+      occupants_[c].push_back(i);
+      own_on_channel[c].push_back(own);
+    });
+  }
+
   if (topology_ != nullptr) {
     // Neighborhood mode: utilities come from per-user perceived loads, and
     // welfare has no per-channel shortcut — it IS the sum of utilities.
+    // Perceived loads are integer sums, so scatter order is free: each
+    // occupied (j, c) entry contributes to j's closed neighborhood,
+    // O(nnz * degree) total instead of O(|N|*|C|*degree).
     perceived_.assign(users * num_channels_, 0);
-    for (UserId i = 0; i < users; ++i) {
-      for (ChannelId c = 0; c < num_channels_; ++c) {
-        RadioCount load = strategies.at(i, c);
-        for (const UserId j : topology_->neighbors(i)) {
-          load += strategies.at(j, c);
+    for (UserId j = 0; j < users; ++j) {
+      strategies.for_each_row_entry(j, [&](ChannelId c, RadioCount own) {
+        perceived(j, c) += own;
+        for (const UserId i : topology_->neighbors(j)) {
+          perceived(i, c) += own;
         }
-        perceived(i, c) = load;
-      }
+      });
     }
     for (ChannelId c = 0; c < num_channels_; ++c) {
-      for (UserId i = 0; i < users; ++i) {
-        const RadioCount own = strategies.at(i, c);
-        if (own <= 0) continue;
-        const double value = load_share(*model_, c, own, perceived(i, c));
-        utilities_[i] += value;
+      const auto& list = occupants_[c];
+      const auto& owns = own_on_channel[c];
+      for (std::size_t s = 0; s < list.size(); ++s) {
+        const double value =
+            load_share(*model_, c, owns[s], perceived(list[s], c));
+        utilities_[list[s]] += value;
         welfare_ += value;
-        insert_occupant(i, c);
       }
     }
     if (cost > 0.0) {
@@ -72,6 +94,7 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
       }
       welfare_ -= cost * static_cast<double>(strategies.total_deployed());
     }
+    reset_scan_state();
     return;
   }
   for (ChannelId c = 0; c < num_channels_; ++c) {
@@ -79,11 +102,10 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
     if (load <= 0) continue;
     welfare_ += model_->rate(c, load);
     const double per_radio = model_->per_radio(c, load);
-    for (UserId i = 0; i < users; ++i) {
-      const RadioCount own = strategies.at(i, c);
-      if (own <= 0) continue;
-      utilities_[i] += static_cast<double>(own) * per_radio;
-      insert_occupant(i, c);
+    const auto& list = occupants_[c];
+    const auto& owns = own_on_channel[c];
+    for (std::size_t s = 0; s < list.size(); ++s) {
+      utilities_[list[s]] += static_cast<double>(owns[s]) * per_radio;
     }
   }
   if (cost > 0.0) {
@@ -92,6 +114,7 @@ void UtilityCache::rebuild(const StrategyMatrix& strategies) {
     }
     welfare_ -= cost * static_cast<double>(strategies.total_deployed());
   }
+  reset_scan_state();
 }
 
 RadioCount UtilityCache::perceived_load(const StrategyMatrix& strategies,
@@ -110,6 +133,61 @@ void UtilityCache::check_tracked(const StrategyMatrix& strategies) const {
   }
 }
 
+void UtilityCache::reset_scan_state() {
+  if (!scan_pruning_) return;
+  const std::size_t users = tracked_->num_users();
+  if (topology_ != nullptr) {
+    dirty_mask_.assign(users, kAllDirty);
+  } else {
+    change_epoch_ = 1;
+    channel_epoch_.assign(num_channels_, 0);
+    last_clean_scan_.assign(users, 0);
+  }
+}
+
+void UtilityCache::enable_scan_pruning() {
+  if (scan_pruning_) return;
+  scan_pruning_ = true;
+  reset_scan_state();
+}
+
+UtilityCache::ScanPlan UtilityCache::plan_scan(UserId user,
+                                               std::vector<ChannelId>& dirty) {
+  dirty.clear();
+  if (!scan_pruning_) return ScanPlan::kFull;
+  if (topology_ != nullptr) {
+    const std::uint64_t mask = dirty_mask_[user];
+    if (mask == 0) {
+      ++scan_skips_;
+      return ScanPlan::kSkip;
+    }
+    if ((mask >> kMaskOverflowBit) != 0) return ScanPlan::kFull;
+    for (ChannelId c = 0; c < num_channels_; ++c) {
+      if ((mask & mask_bit(c)) != 0) dirty.push_back(c);
+    }
+    return ScanPlan::kDirtyChannels;
+  }
+  const std::uint64_t seen = last_clean_scan_[user];
+  if (seen == 0) return ScanPlan::kFull;
+  if (seen >= change_epoch_) {
+    ++scan_skips_;
+    return ScanPlan::kSkip;
+  }
+  for (ChannelId c = 0; c < num_channels_; ++c) {
+    if (channel_epoch_[c] > seen) dirty.push_back(c);
+  }
+  return ScanPlan::kDirtyChannels;
+}
+
+void UtilityCache::note_scan(UserId user, bool changed) {
+  if (!scan_pruning_) return;
+  if (topology_ != nullptr) {
+    dirty_mask_[user] = changed ? kAllDirty : 0;
+    return;
+  }
+  last_clean_scan_[user] = changed ? 0 : change_epoch_;
+}
+
 void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
                                    UserId user, ChannelId channel,
                                    RadioCount delta) {
@@ -120,7 +198,10 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
   if (topology_ != nullptr) {
     // Only the mover's CLOSED NEIGHBORHOOD perceives the change — everyone
     // else's loads, shares and utilities are untouched. O(degree), not
-    // O(occupants): the sparse-graph pruning the scale work leans on.
+    // O(occupants): the sparse-graph pruning the scale work leans on. The
+    // same walk stamps the dirty bit: exactly the users whose view of
+    // `channel` shifts get their scan memo narrowed to it.
+    const std::uint64_t bit = scan_pruning_ ? mask_bit(channel) : 0;
     const auto update = [&](UserId j) {
       RadioCount& load = perceived(j, channel);
       const RadioCount own = strategies.at(j, channel);
@@ -131,6 +212,7 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
       utilities_[j] += diff;
       welfare_ += diff;
       load += delta;
+      if (bit != 0) dirty_mask_[j] |= bit;
       ++reprice_touches_;
     };
     update(user);
@@ -138,6 +220,10 @@ void UtilityCache::reprice_channel(const StrategyMatrix& strategies,
     utilities_[user] -= cost_delta;
     welfare_ -= cost_delta;
   } else {
+    if (scan_pruning_) {
+      ++change_epoch_;
+      channel_epoch_[channel] = change_epoch_;
+    }
     const RadioCount old_load = strategies.channel_load(channel);
     const RadioCount new_load = old_load + delta;
     const double per_radio_old = model_->per_radio(channel, old_load);
@@ -209,7 +295,7 @@ void UtilityCache::move_radio(StrategyMatrix& strategies, UserId user,
 void UtilityCache::set_row(StrategyMatrix& strategies, UserId user,
                            std::span<const RadioCount> new_row) {
   check_tracked(strategies);
-  (void)strategies.row(user);  // validates the user id
+  (void)strategies.user_total(user);  // validates the user id
   if (new_row.size() != num_channels_) {
     throw std::invalid_argument("set_row: wrong row width");
   }
@@ -243,13 +329,14 @@ double UtilityCache::max_drift(const StrategyMatrix& strategies) const {
 }
 
 void UtilityCache::insert_occupant(UserId user, ChannelId channel) {
-  position(user, channel) = occupants_[channel].size();
+  position(user, channel) =
+      static_cast<std::uint32_t>(occupants_[channel].size());
   occupants_[channel].push_back(user);
 }
 
 void UtilityCache::erase_occupant(UserId user, ChannelId channel) {
   auto& list = occupants_[channel];
-  const std::size_t at = position(user, channel);
+  const std::uint32_t at = position(user, channel);
   const UserId moved = list.back();
   list[at] = moved;
   position(moved, channel) = at;

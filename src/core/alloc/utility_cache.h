@@ -21,8 +21,25 @@
 // structurally; utilities are maintained in floating point incrementally
 // and agree with the full recompute to ~1e-13 over any realistic
 // trajectory (regression-tested for every scenario kind).
+//
+// DIRTY-CHANNEL SCAN PRUNING (enable_scan_pruning): the cache can
+// additionally witness which channels changed, as seen by each user, since
+// that user's last completed no-change deviation scan. A best-response
+// driver then asks plan_scan() before activating a user: kSkip means
+// nothing the user can see has changed since a scan that found no
+// improving candidate — the activation is a proven O(1) no-op (counted in
+// scan_skips()); kDirtyChannels returns the ascending list of changed
+// channels for a partial rescan (deviation_detail.h's *_pruned scans);
+// kFull means no valid memo. Bookkeeping is O(1) per mutation: a global
+// monotone change epoch + per-channel last-change stamps in the single
+// collision domain, and a per-user dirty bitmask (bit 63 aggregating
+// channels >= 63) under a topology, maintained inside the O(degree)
+// neighborhood reprice. Pruned trajectories are bit-identical to unpruned
+// ones — everything a plan omits is provably unchanged and was already
+// below tolerance.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -65,11 +82,53 @@ class UtilityCache {
   RadioCount perceived_load(const StrategyMatrix& strategies, UserId user,
                             ChannelId channel) const;
 
+  /// Same value as perceived_load, O(1) and unchecked — the LoadAt
+  /// accessor the dynamics driver's cached deviation scans read.
+  RadioCount load_seen(UserId user, ChannelId channel) const noexcept {
+    if (topology_ != nullptr) {
+      return perceived_[user * num_channels_ + channel];
+    }
+    return tracked_->channel_loads()[channel];
+  }
+
   /// Running count of per-user utility updates performed by repricing —
   /// the operation-count witness that a sparse-graph activation touches
   /// only the mover's closed neighborhood while the single collision
   /// domain touches every occupant of the changed channels.
   std::size_t reprice_touches() const noexcept { return reprice_touches_; }
+
+  // --- Dirty-channel scan pruning -----------------------------------------
+
+  /// What a deviation rescan of a user must cover.
+  enum class ScanPlan {
+    kSkip,           ///< provably nothing to find: O(1) no-op activation
+    kFull,           ///< no valid memo — scan every candidate
+    kDirtyChannels,  ///< rescan only candidates touching the listed channels
+  };
+
+  /// Turns the scan bookkeeping on (idempotent; every user starts with no
+  /// memo). Off by default: the epoch/bitmask updates cost a branch per
+  /// reprice, and only a pruning driver reads them.
+  void enable_scan_pruning();
+  bool scan_pruning_enabled() const noexcept { return scan_pruning_; }
+
+  /// Decides how much of `user`'s next deviation scan is provably
+  /// redundant. On kDirtyChannels, `dirty` holds the ascending channels
+  /// whose load (as `user` sees it) changed since the user's last
+  /// completed no-change scan; on every other plan it is left empty.
+  /// kSkip increments scan_skips().
+  ScanPlan plan_scan(UserId user, std::vector<ChannelId>& dirty);
+
+  /// Records the outcome of a completed scan of `user`: changed=false
+  /// certifies "no candidate above tolerance" (the memo future plans prune
+  /// against); changed=true voids the user's memo (their own row moved, so
+  /// second-best candidates are live again). Call AFTER applying the
+  /// user's change, if any.
+  void note_scan(UserId user, bool changed);
+
+  /// Activations resolved as O(1) no-ops by plan_scan — the operation-count
+  /// witness for dirty-channel pruning, sibling to reprice_touches().
+  std::uint64_t scan_skips() const noexcept { return scan_skips_; }
 
   // Mutations: forward to `strategies` and update the cached values.
   // `strategies` must be the matrix this cache was built on (or last
@@ -85,8 +144,10 @@ class UtilityCache {
   void set_row(StrategyMatrix& strategies, UserId user,
                std::span<const RadioCount> new_row);
 
-  /// Recomputes everything from scratch (O(|N|*|C|), O(|N|*|C|*degree)
-  /// under a topology) and re-pairs the cache with `strategies`.
+  /// Recomputes everything from scratch and re-pairs the cache with
+  /// `strategies`. O(|N|*|C| + nnz) globally, O(|N|*|C| + nnz*degree)
+  /// under a topology, nnz = occupied (user, channel) pairs. Voids every
+  /// scan memo; scan_skips()/reprice_touches() keep counting.
   void rebuild(const StrategyMatrix& strategies);
 
   /// Largest absolute disagreement between the cached utilities/welfare and
@@ -103,14 +164,26 @@ class UtilityCache {
                        ChannelId channel, RadioCount delta);
   void insert_occupant(UserId user, ChannelId channel);
   void erase_occupant(UserId user, ChannelId channel);
-  std::size_t& position(UserId user, ChannelId channel) {
+  /// Voids every user's scan memo (no-op unless pruning is enabled).
+  void reset_scan_state();
+  std::uint32_t& position(UserId user, ChannelId channel) {
     return positions_[user * num_channels_ + channel];
   }
   RadioCount& perceived(UserId user, ChannelId channel) {
     return perceived_[user * num_channels_ + channel];
   }
 
-  static constexpr std::size_t kNotOccupant = static_cast<std::size_t>(-1);
+  static constexpr std::uint32_t kNotOccupant =
+      static_cast<std::uint32_t>(-1);
+  /// Channels >= 63 share the top dirty-mask bit; a mask with it set can
+  /// only plan a full rescan.
+  static constexpr ChannelId kMaskOverflowBit = 63;
+  static constexpr std::uint64_t kAllDirty = ~std::uint64_t{0};
+  static std::uint64_t mask_bit(ChannelId channel) noexcept {
+    return std::uint64_t{1} << (channel < kMaskOverflowBit
+                                    ? channel
+                                    : kMaskOverflowBit);
+  }
 
   std::shared_ptr<const GameModel> owned_;  ///< set by the Game constructor
   const GameModel* model_;
@@ -121,10 +194,22 @@ class UtilityCache {
   double welfare_ = 0.0;
   std::vector<std::vector<UserId>> occupants_;
   // positions_[i*|C|+c]: index of user i in occupants_[c], or kNotOccupant.
-  std::vector<std::size_t> positions_;
+  // 32 bits: occupant list indices are bounded by |N|, and at 10^6 users
+  // this array is the largest per-cell structure after the loads.
+  std::vector<std::uint32_t> positions_;
   // perceived_[i*|C|+c]: P_i(c), maintained only under a topology.
   std::vector<RadioCount> perceived_;
   std::size_t reprice_touches_ = 0;
+
+  // Scan-pruning state (see the class comment). Global domain: change
+  // epoch / per-channel stamps / per-user last-clean-scan stamps (0 =
+  // never). Topology domain: per-user dirty bitmasks.
+  bool scan_pruning_ = false;
+  std::uint64_t scan_skips_ = 0;
+  std::uint64_t change_epoch_ = 1;
+  std::vector<std::uint64_t> channel_epoch_;
+  std::vector<std::uint64_t> last_clean_scan_;
+  std::vector<std::uint64_t> dirty_mask_;
 };
 
 }  // namespace mrca

@@ -19,9 +19,22 @@
 // the load it sees by exactly +/-1 (the user is in its own closed
 // neighborhood), so every benefit formula generalizes by substituting the
 // accessor and nothing else.
+//
+// Hot-path layout: the scans precompute three contiguous per-channel share
+// arrays (current share, share after adding a radio, share after removing
+// one) in one flat pass over the channels, then enumerate candidates as
+// pure array reads. Each candidate's benefit is assembled with exactly the
+// same expression shape the per-candidate helpers use — same terms, same
+// grouping — so the flat kernels are bit-identical to the scalar path.
+// `scan_single_changes_pruned` additionally restricts the enumeration to
+// candidates touching a caller-proven "dirty" channel set (see
+// UtilityCache::plan_scan); everything it omits was <= tolerance at the
+// user's last completed scan and is unchanged since.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -38,6 +51,26 @@ inline double share(double rate, RadioCount own, RadioCount load) {
   if (own <= 0 || load <= 0) return 0.0;
   return static_cast<double>(own) / static_cast<double>(load) * rate;
 }
+
+/// Reusable per-scan scratch: the user's dense row, the loads it
+/// perceives, and the three flat share kernels every candidate benefit is
+/// assembled from. Hoisting this out of the scan lets a dynamics driver
+/// run millions of activations with zero per-activation allocation.
+struct ScanBuffers {
+  std::vector<RadioCount> own;     // user's row, densified
+  std::vector<RadioCount> load;    // load the user perceives per channel
+  std::vector<double> before;      // share at the current allocation
+  std::vector<double> gain_to;     // share after adding one radio
+  std::vector<double> gain_from;   // share after removing one radio
+
+  void resize(std::size_t channels) {
+    own.resize(channels);
+    load.resize(channels);
+    before.resize(channels);
+    gain_to.resize(channels);
+    gain_from.resize(channels);
+  }
+};
 
 template <typename RateAt, typename LoadAt>
 double move_benefit_at(const StrategyMatrix& strategies, UserId user,
@@ -102,6 +135,20 @@ double park_benefit_at(const StrategyMatrix& strategies, UserId user,
       [&](ChannelId c) { return strategies.channel_load(c); });
 }
 
+/// Fills the three share kernels for channel `c` from buf.own / buf.load.
+/// gain_from is only meaningful (and only ever read) on occupied channels;
+/// the guard keeps rate_at off negative loads for empty ones.
+template <typename RateAt>
+inline void fill_share_kernels(ScanBuffers& buf, ChannelId c,
+                               RateAt rate_at) {
+  const RadioCount own = buf.own[c];
+  const RadioCount load = buf.load[c];
+  buf.before[c] = share(rate_at(c, load), own, load);
+  buf.gain_to[c] = share(rate_at(c, load + 1), own + 1, load + 1);
+  buf.gain_from[c] =
+      own > 0 ? share(rate_at(c, load - 1), own - 1, load - 1) : 0.0;
+}
+
 /// Enumerates every single-radio change of `user` — deploys first (only
 /// when `has_spare`), then per-source parks and moves — feeding each
 /// candidate to `consider(SingleChange)`. The enumeration order is part of
@@ -109,27 +156,42 @@ double park_benefit_at(const StrategyMatrix& strategies, UserId user,
 template <typename RateAt, typename LoadAt, typename Consider>
 void scan_single_changes(const StrategyMatrix& strategies, UserId user,
                          RateAt rate_at, double cost, bool has_spare,
-                         LoadAt load_at, Consider&& consider) {
+                         LoadAt load_at, ScanBuffers& buf,
+                         Consider&& consider) {
   const std::size_t channels = strategies.num_channels();
-  for (ChannelId to = 0; to < channels; ++to) {
-    if (has_spare) {
-      consider(SingleChange{
-          SingleChange::Kind::kDeploy, user, /*from=*/0, to,
-          deploy_benefit_at(strategies, user, to, rate_at, cost, load_at)});
+  buf.resize(channels);
+  strategies.copy_row(user, buf.own);
+  for (ChannelId c = 0; c < channels; ++c) buf.load[c] = load_at(c);
+  for (ChannelId c = 0; c < channels; ++c) {
+    fill_share_kernels(buf, c, rate_at);
+  }
+  if (has_spare) {
+    for (ChannelId to = 0; to < channels; ++to) {
+      consider(SingleChange{SingleChange::Kind::kDeploy, user, /*from=*/0, to,
+                            buf.gain_to[to] - buf.before[to] - cost});
     }
   }
   for (ChannelId from = 0; from < channels; ++from) {
-    if (strategies.at(user, from) <= 0) continue;
-    consider(SingleChange{
-        SingleChange::Kind::kPark, user, from, /*to=*/0,
-        park_benefit_at(strategies, user, from, rate_at, cost, load_at)});
+    if (buf.own[from] <= 0) continue;
+    consider(SingleChange{SingleChange::Kind::kPark, user, from, /*to=*/0,
+                          buf.gain_from[from] - buf.before[from] + cost});
     for (ChannelId to = 0; to < channels; ++to) {
       if (to == from) continue;
       consider(SingleChange{
           SingleChange::Kind::kMove, user, from, to,
-          move_benefit_at(strategies, user, from, to, rate_at, load_at)});
+          (buf.gain_from[from] + buf.gain_to[to]) -
+              (buf.before[from] + buf.before[to])});
     }
   }
+}
+
+template <typename RateAt, typename LoadAt, typename Consider>
+void scan_single_changes(const StrategyMatrix& strategies, UserId user,
+                         RateAt rate_at, double cost, bool has_spare,
+                         LoadAt load_at, Consider&& consider) {
+  ScanBuffers buf;
+  scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
+                      buf, std::forward<Consider>(consider));
 }
 
 template <typename RateAt, typename Consider>
@@ -142,20 +204,89 @@ void scan_single_changes(const StrategyMatrix& strategies, UserId user,
       std::forward<Consider>(consider));
 }
 
+/// Partial rescan against a proven-clean memo: the caller guarantees that
+/// `user`'s row is unchanged since a completed scan that found no candidate
+/// above tolerance, and that every channel whose load (as seen by `user`)
+/// changed since then is listed in `dirty` (ascending). Candidates that
+/// touch no dirty channel then keep their last-scanned benefit, still
+/// <= tolerance, so only deploys onto and moves onto a dirty channel need
+/// recomputation — in the same relative order the full scan would visit
+/// them, which keeps argmax and list results identical to a full rescan.
+/// If one of the user's own channels is dirty, every move out of it (any
+/// destination) must be repriced, so the scan falls back to the full flat
+/// kernel — trivially identical to the unpruned scan.
+template <typename RateAt, typename LoadAt, typename Consider>
+void scan_single_changes_pruned(const StrategyMatrix& strategies, UserId user,
+                                RateAt rate_at, double cost, bool has_spare,
+                                LoadAt load_at,
+                                std::span<const ChannelId> dirty,
+                                ScanBuffers& buf, Consider&& consider) {
+  const std::size_t channels = strategies.num_channels();
+  buf.resize(channels);
+  strategies.copy_row(user, buf.own);
+  for (const ChannelId c : dirty) {
+    if (buf.own[c] > 0) {
+      scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
+                          buf, std::forward<Consider>(consider));
+      return;
+    }
+  }
+  // Fill loads and share kernels only where a candidate can read them:
+  // dirty destinations and the user's occupied source channels (the two
+  // sets are disjoint here).
+  for (const ChannelId c : dirty) {
+    buf.load[c] = load_at(c);
+    fill_share_kernels(buf, c, rate_at);
+  }
+  for (ChannelId c = 0; c < channels; ++c) {
+    if (buf.own[c] <= 0) continue;
+    buf.load[c] = load_at(c);
+    fill_share_kernels(buf, c, rate_at);
+  }
+  if (has_spare) {
+    for (const ChannelId to : dirty) {
+      consider(SingleChange{SingleChange::Kind::kDeploy, user, /*from=*/0, to,
+                            buf.gain_to[to] - buf.before[to] - cost});
+    }
+  }
+  // Parks are skipped outright: a clean source channel's park benefit is
+  // unchanged and was <= tolerance.
+  for (ChannelId from = 0; from < channels; ++from) {
+    if (buf.own[from] <= 0) continue;
+    for (const ChannelId to : dirty) {
+      consider(SingleChange{
+          SingleChange::Kind::kMove, user, from, to,
+          (buf.gain_from[from] + buf.gain_to[to]) -
+              (buf.before[from] + buf.before[to])});
+    }
+  }
+}
+
 template <typename RateAt, typename LoadAt>
 std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
                                                UserId user, double tolerance,
                                                RateAt rate_at, double cost,
-                                               bool has_spare, LoadAt load_at) {
+                                               bool has_spare, LoadAt load_at,
+                                               ScanBuffers& buf) {
   std::optional<SingleChange> best;
   scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
-                      [&](const SingleChange& candidate) {
+                      buf, [&](const SingleChange& candidate) {
                         if (candidate.benefit <= tolerance) return;
                         if (!best || candidate.benefit > best->benefit) {
                           best = candidate;
                         }
                       });
   return best;
+}
+
+template <typename RateAt, typename LoadAt>
+std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
+                                               UserId user, double tolerance,
+                                               RateAt rate_at, double cost,
+                                               bool has_spare, LoadAt load_at) {
+  ScanBuffers buf;
+  return best_single_change(strategies, user, tolerance, rate_at, cost,
+                            has_spare, load_at, buf);
 }
 
 template <typename RateAt>
@@ -168,19 +299,49 @@ std::optional<SingleChange> best_single_change(const StrategyMatrix& strategies,
       [&](ChannelId c) { return strategies.channel_load(c); });
 }
 
+/// best_single_change over the pruned candidate set (see
+/// scan_single_changes_pruned for the validity contract).
+template <typename RateAt, typename LoadAt>
+std::optional<SingleChange> best_single_change_pruned(
+    const StrategyMatrix& strategies, UserId user, double tolerance,
+    RateAt rate_at, double cost, bool has_spare, LoadAt load_at,
+    std::span<const ChannelId> dirty, ScanBuffers& buf) {
+  std::optional<SingleChange> best;
+  scan_single_changes_pruned(strategies, user, rate_at, cost, has_spare,
+                             load_at, dirty, buf,
+                             [&](const SingleChange& candidate) {
+                               if (candidate.benefit <= tolerance) return;
+                               if (!best || candidate.benefit > best->benefit) {
+                                 best = candidate;
+                               }
+                             });
+  return best;
+}
+
 template <typename RateAt, typename LoadAt>
 std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
                                             UserId user, double tolerance,
                                             RateAt rate_at, double cost,
-                                            bool has_spare, LoadAt load_at) {
+                                            bool has_spare, LoadAt load_at,
+                                            ScanBuffers& buf) {
   std::vector<SingleChange> result;
   scan_single_changes(strategies, user, rate_at, cost, has_spare, load_at,
-                      [&](const SingleChange& candidate) {
+                      buf, [&](const SingleChange& candidate) {
                         if (candidate.benefit > tolerance) {
                           result.push_back(candidate);
                         }
                       });
   return result;
+}
+
+template <typename RateAt, typename LoadAt>
+std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
+                                            UserId user, double tolerance,
+                                            RateAt rate_at, double cost,
+                                            bool has_spare, LoadAt load_at) {
+  ScanBuffers buf;
+  return improving_changes(strategies, user, tolerance, rate_at, cost,
+                           has_spare, load_at, buf);
 }
 
 template <typename RateAt>
@@ -193,48 +354,74 @@ std::vector<SingleChange> improving_changes(const StrategyMatrix& strategies,
       [&](ChannelId c) { return strategies.channel_load(c); });
 }
 
+/// improving_changes over the pruned candidate set. A candidate the full
+/// scan would list but this one omits was <= tolerance at the user's last
+/// completed scan and is unchanged, so it would not be listed either way;
+/// the surviving candidates appear in the full scan's relative order.
+template <typename RateAt, typename LoadAt>
+std::vector<SingleChange> improving_changes_pruned(
+    const StrategyMatrix& strategies, UserId user, double tolerance,
+    RateAt rate_at, double cost, bool has_spare, LoadAt load_at,
+    std::span<const ChannelId> dirty, ScanBuffers& buf) {
+  std::vector<SingleChange> result;
+  scan_single_changes_pruned(strategies, user, rate_at, cost, has_spare,
+                             load_at, dirty, buf,
+                             [&](const SingleChange& candidate) {
+                               if (candidate.benefit > tolerance) {
+                                 result.push_back(candidate);
+                               }
+                             });
+  return result;
+}
+
 /// Exact best response of `user` against the other users' radios under
 /// `budget`: maximize sum_c f_c(x_c), f_c(x) = x * R_c(L_c + x) / (L_c + x)
 /// - cost * x, with L_c the opponents' load on channel c (global or
 /// neighborhood-perceived, per `load_at`), subject to sum_c x_c <= budget.
-/// O(|C| * budget^2) DP, no concavity assumption — an oracle over every
-/// deviation including partial deployment.
+/// O(|C| * budget^2) DP over flat row-major tables, no concavity
+/// assumption — an oracle over every deviation including partial
+/// deployment.
 template <typename RateAt, typename LoadAt>
 BestResponse best_response(const StrategyMatrix& strategies, UserId user,
                            std::size_t budget, RateAt rate_at, double cost,
                            LoadAt load_at) {
   const std::size_t channels = strategies.num_channels();
+  const std::size_t width = budget + 1;
 
   // Opponents' load per channel.
+  std::vector<RadioCount> own(channels);
+  strategies.copy_row(user, own);
   std::vector<RadioCount> opponent_load(channels);
   for (ChannelId c = 0; c < channels; ++c) {
-    opponent_load[c] = load_at(c) - strategies.at(user, c);
+    opponent_load[c] = load_at(c) - own[c];
   }
 
-  // gain[c][x]: user's utility from placing x radios on channel c.
-  std::vector<std::vector<double>> gain(channels,
-                                        std::vector<double>(budget + 1, 0.0));
+  // gain[c*width + x]: user's utility from placing x radios on channel c.
+  std::vector<double> gain(channels * width, 0.0);
   for (ChannelId c = 0; c < channels; ++c) {
+    double* gain_row = gain.data() + c * width;
     for (std::size_t x = 1; x <= budget; ++x) {
       const RadioCount load = opponent_load[c] + static_cast<RadioCount>(x);
-      gain[c][x] = static_cast<double>(x) / static_cast<double>(load) *
-                       rate_at(c, load) -
-                   cost * static_cast<double>(x);
+      gain_row[x] = static_cast<double>(x) / static_cast<double>(load) *
+                        rate_at(c, load) -
+                    cost * static_cast<double>(x);
     }
   }
 
-  // value[c][b]: best achievable total from channels c..end with b radios.
-  // choice[c][b]: the optimal count placed on channel c in that state.
-  std::vector<std::vector<double>> value(channels + 1,
-                                         std::vector<double>(budget + 1, 0.0));
-  std::vector<std::vector<std::size_t>> choice(
-      channels, std::vector<std::size_t>(budget + 1, 0));
+  // value[c*width + b]: best achievable total from channels c..end with b
+  // radios. choice[c*width + b]: the optimal count placed on channel c.
+  std::vector<double> value((channels + 1) * width, 0.0);
+  std::vector<std::uint32_t> choice(channels * width, 0);
   for (ChannelId c = channels; c-- > 0;) {
+    const double* gain_row = gain.data() + c * width;
+    const double* next_row = value.data() + (c + 1) * width;
+    double* value_row = value.data() + c * width;
+    std::uint32_t* choice_row = choice.data() + c * width;
     for (std::size_t b = 0; b <= budget; ++b) {
       double best_value = -1e300;  // utilities go negative under a cost
       std::size_t best_x = 0;
       for (std::size_t x = 0; x <= b; ++x) {
-        const double candidate = gain[c][x] + value[c + 1][b - x];
+        const double candidate = gain_row[x] + next_row[b - x];
         // Strict '>' with ascending x prefers parking surplus radios on
         // ties; utility is unaffected, and tests assert only the value.
         if (candidate > best_value) {
@@ -242,17 +429,17 @@ BestResponse best_response(const StrategyMatrix& strategies, UserId user,
           best_x = x;
         }
       }
-      value[c][b] = best_value;
-      choice[c][b] = best_x;
+      value_row[b] = best_value;
+      choice_row[b] = static_cast<std::uint32_t>(best_x);
     }
   }
 
   BestResponse response;
-  response.utility = value[0][budget];
+  response.utility = value[0 * width + budget];
   response.strategy.resize(channels, 0);
   std::size_t remaining = budget;
   for (ChannelId c = 0; c < channels; ++c) {
-    const std::size_t x = choice[c][remaining];
+    const std::size_t x = choice[c * width + remaining];
     response.strategy[c] = static_cast<RadioCount>(x);
     remaining -= x;
   }

@@ -194,23 +194,23 @@ RadioCount GameModel::perceived_load(const StrategyMatrix& strategies,
 
 double GameModel::raw_utility_unchecked(const StrategyMatrix& strategies,
                                         UserId user) const {
+  // Walks occupied channels only (ascending, so the summation order — and
+  // therefore every bit of the result — matches the dense row scan it
+  // replaces, which skipped the zero cells too).
   double total = 0.0;
-  const auto row = strategies.row(user);
   if (topology_) {
-    for (ChannelId c = 0; c < config_.num_channels; ++c) {
-      if (row[c] == 0) continue;
+    strategies.for_each_row_entry(user, [&](ChannelId c, RadioCount own) {
       const RadioCount load = perceived_load_unchecked(strategies, user, c);
-      total += static_cast<double>(row[c]) / static_cast<double>(load) *
+      total += static_cast<double>(own) / static_cast<double>(load) *
                rate(c, load);
-    }
+    });
     return total - cost_ * static_cast<double>(strategies.user_total(user));
   }
   const auto loads = strategies.channel_loads();
-  for (ChannelId c = 0; c < config_.num_channels; ++c) {
-    if (row[c] == 0) continue;
-    total += static_cast<double>(row[c]) / static_cast<double>(loads[c]) *
+  strategies.for_each_row_entry(user, [&](ChannelId c, RadioCount own) {
+    total += static_cast<double>(own) / static_cast<double>(loads[c]) *
              rate(c, loads[c]);
-  }
+  });
   return total - cost_ * static_cast<double>(strategies.user_total(user));
 }
 

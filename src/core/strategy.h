@@ -4,8 +4,16 @@
 // column sums are the channel loads k_c. The class keeps the loads cached
 // and updated incrementally so that equilibrium analysis and response
 // dynamics run in O(1) per radio move.
+//
+// Two physical row representations share one mutator surface: the dense
+// |N| x |C| cell grid, and a sparse per-user slot layout (each user
+// occupies at most k of |C| channels, so k (channel, count) slots per user
+// suffice). The sparse layout is what lets a 10^6-user cell fit in memory;
+// it is selected automatically for large matrices and is observationally
+// identical to dense storage everywhere except the dense-only `row()` view.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,8 +33,22 @@ struct RadioMove {
 
 class StrategyMatrix {
  public:
-  /// All-zero matrix (no radios deployed yet).
+  /// Physical row representation. kDense stores the full |N| x |C| grid;
+  /// kSparse stores up to k sorted (channel, count) slots per user.
+  enum class Storage { kDense, kSparse };
+
+  /// All-zero matrix (no radios deployed yet). Picks the representation
+  /// via auto_storage().
   explicit StrategyMatrix(const GameConfig& config);
+
+  /// All-zero matrix with an explicit representation (test seam and
+  /// benchmark control; semantics are identical either way).
+  StrategyMatrix(const GameConfig& config, Storage storage);
+
+  /// The representation the single-argument constructor picks: sparse once
+  /// the dense grid would be large *and* genuinely sparse (|C| more than
+  /// twice the per-user budget, so slots beat cells on bytes).
+  static Storage auto_storage(const GameConfig& config) noexcept;
 
   /// Builds from explicit rows; validates shape, non-negativity and the
   /// per-user radio budget (sum of row i <= k).
@@ -36,12 +58,39 @@ class StrategyMatrix {
   const GameConfig& config() const noexcept { return config_; }
   std::size_t num_users() const noexcept { return config_.num_users; }
   std::size_t num_channels() const noexcept { return config_.num_channels; }
+  Storage storage() const noexcept { return storage_; }
 
   /// k_{i,c}: radios user i operates on channel c.
   RadioCount at(UserId user, ChannelId channel) const;
 
-  /// Row view of user i's strategy vector.
+  /// Row view of user i's strategy vector. Dense storage only — there is
+  /// no contiguous row to point at in the sparse layout; use copy_row()
+  /// or for_each_row_entry() for representation-agnostic access.
   std::span<const RadioCount> row(UserId user) const;
+
+  /// Copies user i's full strategy vector into `out` (size |C|).
+  void copy_row(UserId user, std::span<RadioCount> out) const;
+
+  /// Calls fn(channel, count) for each channel where user i has at least
+  /// one radio, in ascending channel order. The sparse-friendly row walk:
+  /// O(occupied) per row instead of O(|C|).
+  template <typename Fn>
+  void for_each_row_entry(UserId user, Fn&& fn) const {
+    check_user(user);
+    if (storage_ == Storage::kDense) {
+      const RadioCount* base = cells_.data() + user * config_.num_channels;
+      for (ChannelId c = 0; c < config_.num_channels; ++c) {
+        if (base[c] != 0) fn(c, base[c]);
+      }
+    } else {
+      const std::size_t base = user * slot_capacity_;
+      const std::uint32_t used = slot_used_[user];
+      for (std::uint32_t s = 0; s < used; ++s) {
+        fn(static_cast<ChannelId>(slot_channel_[base + s]),
+           slot_count_[base + s]);
+      }
+    }
+  }
 
   /// k_c: total radios on channel c (cached).
   RadioCount channel_load(ChannelId channel) const;
@@ -100,22 +149,35 @@ class StrategyMatrix {
   /// Useful for deduplication and diagnostics.
   std::string key() const;
 
-  friend bool operator==(const StrategyMatrix& a, const StrategyMatrix& b) {
-    return a.config_ == b.config_ && a.cells_ == b.cells_;
-  }
+  /// Representation-agnostic equality: same config and same logical cells,
+  /// regardless of how either side stores its rows.
+  friend bool operator==(const StrategyMatrix& a, const StrategyMatrix& b);
 
  private:
   void check_user(UserId user) const;
   void check_channel(ChannelId channel) const;
-  RadioCount& cell(UserId user, ChannelId channel) {
-    return cells_[user * config_.num_channels + channel];
-  }
-  const RadioCount& cell(UserId user, ChannelId channel) const {
-    return cells_[user * config_.num_channels + channel];
-  }
+
+  /// k_{i,c} without bounds checks (both representations).
+  RadioCount get_cell(UserId user, ChannelId channel) const;
+
+  /// Adjusts k_{i,c} by delta in the backing storage only (loads/totals
+  /// are the caller's responsibility). Sparse rows keep slots sorted.
+  void bump_cell(UserId user, ChannelId channel, RadioCount delta);
 
   GameConfig config_;
-  std::vector<RadioCount> cells_;         // row-major |N| x |C|
+  Storage storage_ = Storage::kDense;
+
+  // kDense: row-major |N| x |C| cell grid.
+  std::vector<RadioCount> cells_;
+
+  // kSparse: per-user slot arrays (capacity k each, channels ascending).
+  // A user's distinct occupied channels never exceed their radio budget,
+  // so k slots always suffice.
+  std::size_t slot_capacity_ = 0;
+  std::vector<std::uint32_t> slot_channel_;
+  std::vector<RadioCount> slot_count_;
+  std::vector<std::uint32_t> slot_used_;
+
   std::vector<RadioCount> channel_loads_; // column sums
   std::vector<RadioCount> user_totals_;   // row sums
   RadioCount total_deployed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <queue>
 #include <stdexcept>
 
 namespace mrca {
@@ -181,16 +182,40 @@ void Topology::color_dsatur() {
   const std::size_t palette = max_degree_ + 1;
   std::vector<char> seen(n * palette, 0);
   std::vector<std::size_t> saturation(n, 0);
+  // DSATUR selection: highest saturation, then highest degree, then lowest
+  // id — all deterministic, so the coloring (and every bound derived from
+  // it) is a pure function of the graph. A lazy-deletion max-heap replaces
+  // the naive O(n^2) selection sweep (which a million-node graph cannot
+  // afford): every saturation bump pushes a fresh (saturation, degree, id)
+  // snapshot, pops discard snapshots that are stale or already colored, and
+  // the comparator reproduces the sweep's exact tie order — saturation
+  // values only grow, so the top fresh snapshot IS the sweep's pick.
+  // O((n + |E|) log n) total.
+  struct Snapshot {
+    std::size_t saturation;
+    std::size_t degree;
+    UserId user;
+    bool operator<(const Snapshot& other) const {
+      if (saturation != other.saturation) {
+        return saturation < other.saturation;
+      }
+      if (degree != other.degree) return degree < other.degree;
+      return user > other.user;  // max-heap: the lowest id wins ties
+    }
+  };
+  std::priority_queue<Snapshot> candidates;
+  for (UserId u = 0; u < n; ++u) {
+    candidates.push({0, degree(u), u});
+  }
   for (std::size_t round = 0; round < n; ++round) {
-    // DSATUR selection: highest saturation, then highest degree, then
-    // lowest id — all deterministic, so the coloring (and every bound
-    // derived from it) is a pure function of the graph.
-    std::size_t pick = kUncolored;
-    for (UserId u = 0; u < n; ++u) {
-      if (colors_[u] != kUncolored) continue;
-      if (pick == kUncolored || saturation[u] > saturation[pick] ||
-          (saturation[u] == saturation[pick] && degree(u) > degree(pick))) {
-        pick = u;
+    UserId pick = 0;
+    for (;;) {
+      const Snapshot top = candidates.top();
+      candidates.pop();
+      if (colors_[top.user] == kUncolored &&
+          saturation[top.user] == top.saturation) {
+        pick = top.user;
+        break;
       }
     }
     std::size_t color = 0;
@@ -202,6 +227,9 @@ void Topology::color_dsatur() {
       if (mark == 0) {
         mark = 1;
         ++saturation[v];
+        if (colors_[v] == kUncolored) {
+          candidates.push({saturation[v], degree(v), v});
+        }
       }
     }
   }

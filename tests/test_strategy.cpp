@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/types.h"
 #include "test_util.h"
@@ -209,6 +212,105 @@ TEST(StrategyMatrixProperty, CachedAggregatesStayConsistent) {
     }
     ASSERT_EQ(total, matrix.total_deployed());
   }
+}
+
+// --- Sparse row storage ----------------------------------------------------
+// The slot representation must be observationally identical to the dense
+// grid through every mutator — it is what lets a 10^6-user matrix fit in
+// memory, and the dynamics never know which one they are driving.
+
+TEST(StrategyMatrixSparse, AutoStorageSelectsSparseOnlyForLargeSparseCells) {
+  using Storage = StrategyMatrix::Storage;
+  // Small grids stay dense regardless of shape.
+  EXPECT_EQ(StrategyMatrix::auto_storage(GameConfig(3, 12, 2)),
+            Storage::kDense);
+  // Large AND channel-rich: slots beat cells.
+  EXPECT_EQ(
+      StrategyMatrix::auto_storage(GameConfig(std::size_t{1} << 18, 16, 4)),
+      Storage::kSparse);
+  // Large but dense-ish rows (|C| <= 2k): the grid is already compact.
+  EXPECT_EQ(
+      StrategyMatrix::auto_storage(GameConfig(std::size_t{1} << 18, 8, 4)),
+      Storage::kDense);
+  EXPECT_EQ(StrategyMatrix(GameConfig(3, 12, 2)).storage(), Storage::kDense);
+}
+
+TEST(StrategyMatrixSparse, MutatorsMatchDenseStorageExactly) {
+  const GameConfig config(6, 9, 3);
+  StrategyMatrix dense(config, StrategyMatrix::Storage::kDense);
+  StrategyMatrix sparse(config, StrategyMatrix::Storage::kSparse);
+  ASSERT_EQ(sparse.storage(), StrategyMatrix::Storage::kSparse);
+  Rng rng(321);
+  for (int step = 0; step < 4000; ++step) {
+    const auto user = static_cast<UserId>(rng.index(config.num_users));
+    const auto channel = static_cast<ChannelId>(rng.index(config.num_channels));
+    if (dense.spare_radios(user) > 0 && rng.index(2) == 0) {
+      dense.add_radio(user, channel);
+      sparse.add_radio(user, channel);
+    } else if (dense.at(user, channel) > 0) {
+      const auto to = static_cast<ChannelId>(rng.index(config.num_channels));
+      if (rng.index(2) == 0) {
+        dense.remove_radio(user, channel);
+        sparse.remove_radio(user, channel);
+      } else if (to != channel) {
+        dense.move_radio(user, channel, to);
+        sparse.move_radio(user, channel, to);
+      }
+    }
+    ASSERT_TRUE(dense == sparse) << "step " << step;
+  }
+  EXPECT_EQ(dense.key(), sparse.key());
+  for (UserId user = 0; user < config.num_users; ++user) {
+    for (ChannelId c = 0; c < config.num_channels; ++c) {
+      ASSERT_EQ(dense.at(user, c), sparse.at(user, c));
+    }
+    ASSERT_EQ(dense.user_total(user), sparse.user_total(user));
+  }
+  for (ChannelId c = 0; c < config.num_channels; ++c) {
+    ASSERT_EQ(dense.channel_load(c), sparse.channel_load(c));
+  }
+}
+
+TEST(StrategyMatrixSparse, SetRowAndCopyRowRoundTrip) {
+  const GameConfig config(3, 6, 4);
+  StrategyMatrix sparse(config, StrategyMatrix::Storage::kSparse);
+  const std::vector<RadioCount> row = {0, 2, 0, 1, 0, 1};
+  sparse.set_row(1, row);
+  std::vector<RadioCount> out(config.num_channels, -1);
+  sparse.copy_row(1, out);
+  EXPECT_EQ(out, row);
+  // Replacing a row wholesale retires the old slots.
+  const std::vector<RadioCount> replacement = {4, 0, 0, 0, 0, 0};
+  sparse.set_row(1, replacement);
+  sparse.copy_row(1, out);
+  EXPECT_EQ(out, replacement);
+  EXPECT_EQ(sparse.user_total(1), 4);
+  EXPECT_EQ(sparse.channel_load(1), 0);
+  EXPECT_EQ(sparse.channel_load(0), 4);
+}
+
+TEST(StrategyMatrixSparse, ForEachRowEntryWalksAscendingOccupiedChannels) {
+  const GameConfig config(2, 8, 4);
+  StrategyMatrix sparse(config, StrategyMatrix::Storage::kSparse);
+  sparse.add_radio(0, 6);
+  sparse.add_radio(0, 1);
+  sparse.add_radio(0, 6);
+  sparse.add_radio(0, 3);
+  std::vector<std::pair<ChannelId, RadioCount>> seen;
+  sparse.for_each_row_entry(0, [&](ChannelId c, RadioCount count) {
+    seen.emplace_back(c, count);
+  });
+  const std::vector<std::pair<ChannelId, RadioCount>> expected = {
+      {1, 1}, {3, 1}, {6, 2}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(StrategyMatrixSparse, RowViewIsDenseOnly) {
+  const GameConfig config(2, 6, 2);
+  StrategyMatrix dense(config, StrategyMatrix::Storage::kDense);
+  EXPECT_NO_THROW(dense.row(0));
+  StrategyMatrix sparse(config, StrategyMatrix::Storage::kSparse);
+  EXPECT_THROW(sparse.row(0), std::logic_error);
 }
 
 }  // namespace
