@@ -1,0 +1,87 @@
+// Benchmarks for the farm orchestration layer's pure planning pieces —
+// everything that runs in the PARENT, per scheduler tick or per resume:
+//  - retry_backoff: the seed-derived delay must be cheap enough to call
+//    per retired child without budgeting for it;
+//  - missing_ranges: resume re-planning over many artifact ranges (a
+//    million-cell sweep farmed at 4k shards leaves up to 4k covered
+//    ranges to complement);
+//  - merge_sweep_results over many small shards, in memory — the farm's
+//    final step, isolated from JSON parsing.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/farm.h"
+#include "engine/sinks.h"
+#include "mrca.h"
+
+namespace {
+
+using namespace mrca;
+using engine::CellRange;
+using engine::FarmSpec;
+
+void BM_RetryBackoff(benchmark::State& state) {
+  FarmSpec spec;
+  spec.seed = 421;
+  std::size_t job = 0;
+  for (auto _ : state) {
+    const auto delay = engine::retry_backoff(spec, job, 3);
+    benchmark::DoNotOptimize(delay);
+    job += 17;
+  }
+}
+BENCHMARK(BM_RetryBackoff);
+
+void BM_MissingRanges(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t total = shards * 256;
+  // Every other shard finished — the worst case for the complement: the
+  // result has one hole per surviving gap.
+  std::vector<CellRange> covered;
+  for (std::size_t i = 0; i < shards; i += 2) {
+    covered.push_back(CellRange{i * 256, (i + 1) * 256});
+  }
+  for (auto _ : state) {
+    std::vector<CellRange> scratch = covered;
+    const auto missing = engine::missing_ranges(std::move(scratch), total);
+    benchmark::DoNotOptimize(missing.size());
+  }
+}
+BENCHMARK(BM_MissingRanges)->Arg(64)->Arg(1024)->Arg(4096);
+
+engine::SweepResult shard_result(const engine::SweepPlan& plan,
+                                 std::size_t index, std::size_t count) {
+  engine::AggregatingSink sink;
+  engine::run_session(plan.shard(index, count), sink,
+                      engine::SessionOptions{1});
+  return std::move(sink).take_result();
+}
+
+void BM_MergeManyShards(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  engine::SweepSpec spec;
+  spec.users = {3, 4, 5, 6};
+  spec.channels = {3, 4};
+  spec.radios = {1, 2};
+  spec.replicates = 2;
+  spec.base_seed = 421;
+  spec.metrics = MetricSet::parse_list("nash,poa");
+  const engine::SweepPlan plan = engine::SweepPlan::build(spec);
+  std::vector<engine::SweepResult> pieces;
+  for (std::size_t i = 0; i < shards; ++i) {
+    pieces.push_back(shard_result(plan, i, shards));
+  }
+  for (auto _ : state) {
+    const auto merged = engine::merge_sweep_results(pieces);
+    benchmark::DoNotOptimize(merged.cells.size());
+  }
+}
+BENCHMARK(BM_MergeManyShards)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Minimal JSON DOM for re-reading this project's OWN strict-JSON output:
+// sweep documents (engine/sweep_io), per-shard progress lines
+// (engine/sinks' --progress-json stream), and the farm session manifest.
+//
+// Deliberately not a general-purpose parser: it accepts exactly the
+// RFC-8259 subset our writers emit (objects, arrays, strings with \u00XX
+// control escapes, finite numbers, true/false/null), keeps object keys in
+// document order, and rejects adversarial nesting up front. Numbers are
+// held as double — every value we serialize, counts included, is exactly
+// representable, and 17-significant-digit text round-trips the bits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrca {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Key/value pairs in document order (duplicates keep first-wins via
+  /// at()/find(), which scan front to back).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Our own writers nest a handful of levels; anything deeper is a
+  /// foreign (or adversarial) document, rejected before the recursive
+  /// descent can exhaust the stack.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  /// Parses one complete document (trailing content is an error). Throws
+  /// std::invalid_argument with a "json: ..." message on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  /// Object member lookup; throws std::invalid_argument when this is not
+  /// an object or the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const noexcept;
+};
+
+}  // namespace mrca

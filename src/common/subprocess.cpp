@@ -1,0 +1,248 @@
+#include "common/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mrca {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("subprocess: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_cloexec_nonblock(int fd) {
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  ::fcntl(fd, F_SETFL, O_NONBLOCK);
+}
+
+SubprocessExit decode_status(int status) {
+  SubprocessExit result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string SubprocessExit::describe() const {
+  if (exited) return "exit " + std::to_string(exit_code);
+  if (signaled) return "signal " + std::to_string(term_signal);
+  return "unknown status";
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !reaped_) {
+    kill_hard();
+    SubprocessExit ignored;
+    // SIGKILL cannot be blocked, so this loop terminates; EINTR retries
+    // happen inside try_wait.
+    while (!try_wait(ignored)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  close_stderr();
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, 0)),
+      stderr_fd_(std::exchange(other.stderr_fd_, -1)),
+      reaped_(std::exchange(other.reaped_, false)),
+      exit_(other.exit_) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    // Tear down the current child the same way the destructor would.
+    Subprocess victim(std::move(*this));
+    pid_ = std::exchange(other.pid_, 0);
+    stderr_fd_ = std::exchange(other.stderr_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    exit_ = other.exit_;
+  }
+  return *this;
+}
+
+Subprocess Subprocess::spawn(const SubprocessSpec& spec) {
+  if (spec.argv.empty()) {
+    throw std::runtime_error("subprocess: empty argv");
+  }
+
+  int err_pipe[2] = {-1, -1};
+  if (spec.capture_stderr && ::pipe(err_pipe) != 0) throw_errno("pipe");
+
+  int out_fd = -1;
+  if (!spec.stdout_path.empty()) {
+    out_fd = ::open(spec.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (out_fd < 0) {
+      const int saved = errno;
+      if (err_pipe[0] >= 0) ::close(err_pipe[0]);
+      if (err_pipe[1] >= 0) ::close(err_pipe[1]);
+      errno = saved;
+      throw_errno("open " + spec.stdout_path);
+    }
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    if (err_pipe[0] >= 0) ::close(err_pipe[0]);
+    if (err_pipe[1] >= 0) ::close(err_pipe[1]);
+    if (out_fd >= 0) ::close(out_fd);
+    errno = saved;
+    throw_errno("fork");
+  }
+
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec.
+    if (err_pipe[0] >= 0) ::close(err_pipe[0]);
+    if (err_pipe[1] >= 0) {
+      ::dup2(err_pipe[1], STDERR_FILENO);
+      ::close(err_pipe[1]);
+    }
+    if (out_fd >= 0) {
+      ::dup2(out_fd, STDOUT_FILENO);
+      ::close(out_fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(spec.argv.size() + 1);
+    for (const std::string& arg : spec.argv) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    _exit(127);  // exec failed; 127 is the shell's "command not found"
+  }
+
+  // Parent.
+  if (err_pipe[1] >= 0) ::close(err_pipe[1]);
+  if (out_fd >= 0) ::close(out_fd);
+
+  Subprocess child;
+  child.pid_ = pid;
+  if (err_pipe[0] >= 0) {
+    set_cloexec_nonblock(err_pipe[0]);
+    child.stderr_fd_ = err_pipe[0];
+  }
+  return child;
+}
+
+void Subprocess::close_stderr() noexcept {
+  if (stderr_fd_ >= 0) {
+    ::close(stderr_fd_);
+    stderr_fd_ = -1;
+  }
+}
+
+std::size_t Subprocess::read_stderr(std::string& out) {
+  if (stderr_fd_ < 0) return 0;
+  std::size_t total = 0;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(stderr_fd_, buffer, sizeof buffer);
+    if (got > 0) {
+      out.append(buffer, static_cast<std::size_t>(got));
+      total += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {  // EOF: the child closed its end (usually by exiting)
+      close_stderr();
+      break;
+    }
+    if (errno == EINTR) continue;
+    break;  // EAGAIN (nothing more right now) or a hard error
+  }
+  return total;
+}
+
+bool Subprocess::try_wait(SubprocessExit& result) {
+  if (pid_ <= 0) return false;
+  if (reaped_) {
+    result = exit_;
+    return true;
+  }
+  int status = 0;
+  for (;;) {
+    const pid_t got = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+    if (got == 0) return false;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      // ECHILD and friends: nothing to reap, report as unknown status.
+      reaped_ = true;
+      result = exit_;
+      return true;
+    }
+    break;
+  }
+  reaped_ = true;
+  exit_ = decode_status(status);
+  result = exit_;
+  return true;
+}
+
+SubprocessExit Subprocess::wait() {
+  SubprocessExit result;
+  std::string sink;
+  while (!try_wait(result)) {
+    // Keep draining stderr so a child blocked on a full pipe can make
+    // progress; poll doubles as the sleep between reap attempts.
+    if (stderr_fd_ >= 0) {
+      struct pollfd pfd {stderr_fd_, POLLIN, 0};
+      ::poll(&pfd, 1, 50);
+      read_stderr(sink);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return result;
+}
+
+void Subprocess::kill_hard() noexcept {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(static_cast<pid_t>(pid_), SIGKILL);
+  }
+}
+
+std::vector<std::size_t> poll_stderr(const std::vector<Subprocess*>& children,
+                                     std::chrono::milliseconds timeout) {
+  std::vector<struct pollfd> fds;
+  std::vector<std::size_t> owner;
+  fds.reserve(children.size());
+  owner.reserve(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (children[i] == nullptr || children[i]->stderr_fd_ < 0) continue;
+    fds.push_back({children[i]->stderr_fd_, POLLIN, 0});
+    owner.push_back(i);
+  }
+
+  std::vector<std::size_t> ready;
+  if (fds.empty()) {
+    std::this_thread::sleep_for(timeout);
+    return ready;
+  }
+
+  const int rc = ::poll(fds.data(), fds.size(),
+                        static_cast<int>(timeout.count()));
+  if (rc <= 0) return ready;  // timeout or EINTR: caller just loops again
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    // POLLHUP/POLLERR also mean "read now": read_stderr turns them into EOF.
+    if (fds[i].revents != 0) ready.push_back(owner[i]);
+  }
+  return ready;
+}
+
+}  // namespace mrca

@@ -1,0 +1,149 @@
+// Fault-tolerant multi-process sweep farm with crash-resume.
+//
+// Threads (engine/thread_pool) scale a sweep inside one process; the farm
+// scales it across PROCESSES: run_farm launches N shard children of the
+// `mrca` binary itself (one `mrca sweep --cells B:E` each), streams their
+// --progress-json stderr, and survives the failures threads cannot — a
+// crashed child, a wedged child (watchdog on stalled output), an OOM-killed
+// child — by relaunching the affected cell range with capped exponential
+// backoff. Determinism is preserved end to end:
+//
+//   - every run's seed is a pure function of (base_seed, absolute cell,
+//     replicate), so which process executes a cell cannot change results;
+//   - each child writes its shard aggregate atomically (".partial" file,
+//     renamed on clean exit), so the artifact directory never holds a torn
+//     document, only complete shards or nothing;
+//   - merging is the existing merge_sweep_results partition check + concat,
+//     byte-identical to a single-process `mrca sweep`;
+//   - retry timing (backoff + jitter) is a pure function of the farm seed —
+//     no wall-clock entropy anywhere in the decision path.
+//
+// Crash-resume closes the loop: scan_artifacts re-reads a dead session's
+// directory, validates every artifact against the plan's fingerprint, and
+// re-plans ONLY the missing cell ranges (SweepPlan::slice), so a farm
+// killed at 90% re-executes 10%.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/session.h"
+
+namespace mrca::engine {
+
+/// Deterministic fault hook for CI: makes the job whose cell range contains
+/// `cell` fail on exactly its `attempt`-th launch (the farm passes the
+/// child a hidden --crash-at-cell / --stall-at-cell flag). With kCrash the
+/// child _Exit(70)s mid-stream; with kStall it hangs so only the watchdog
+/// can reclaim it. Attempts after `attempt` run clean — which is exactly
+/// what lets CI assert "crash, retry, byte-identical output".
+struct FaultInjection {
+  enum class Kind { kCrash, kStall };
+  Kind kind = Kind::kCrash;
+  std::size_t cell = 0;     ///< absolute cell index
+  std::size_t attempt = 1;  ///< 1-based launch attempt of the owning job
+};
+
+/// A contiguous absolute cell range [begin, end).
+struct CellRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct FarmSpec {
+  /// Path to the mrca binary to launch shard children from (the CLI passes
+  /// its own /proc/self/exe).
+  std::string cli_path;
+  /// Session directory: shard artifacts, the farm.json manifest, and (for
+  /// --resume) the evidence of what already finished.
+  std::string dir;
+  /// Sweep flags forwarded verbatim to every child (grid, seed, metrics,
+  /// ... — everything except the farm-owned --cells/--format/--progress-
+  /// json/--records, which run_farm appends itself).
+  std::vector<std::string> sweep_args;
+
+  std::size_t shards = 1;
+  /// Children running at once; 0 = shards.
+  std::size_t max_parallel = 0;
+  /// Total launches allowed per job, first try included (>= 1).
+  std::size_t max_attempts = 3;
+  /// Delay before attempt k (k >= 2): min(cap, base * 2^(k-2)) plus a
+  /// seed-derived jitter in [0, base). Attempt 1 launches immediately.
+  std::chrono::milliseconds backoff_base{250};
+  std::chrono::milliseconds backoff_cap{10000};
+  /// Kill a child whose stderr has been silent this long; 0 disables. The
+  /// --progress-json stream doubles as the heartbeat.
+  std::chrono::seconds watchdog{0};
+  /// Seeds backoff jitter (NOT the sweep — that seed lives in sweep_args).
+  std::uint64_t seed = 1;
+  /// On a retry of a multi-cell job, split the range in half and requeue
+  /// both — isolates a poison cell in O(log n) relaunches.
+  bool subdivide = false;
+  /// Re-plan from the artifacts already in `dir` instead of requiring it
+  /// empty.
+  bool resume = false;
+  std::optional<FaultInjection> inject;
+  /// When non-empty, children also stream per-run JSONL shards, and the
+  /// farm concatenates them (cell order) into this file on success.
+  std::string records_path;
+};
+
+struct FarmResult {
+  /// The merged aggregate — byte-identical through every writer to the
+  /// single-process run.
+  SweepResult merged;
+  std::size_t jobs = 0;      ///< distinct cell-range jobs executed
+  std::size_t launches = 0;  ///< child processes spawned (retries included)
+  std::size_t failures = 0;  ///< launches that did not exit cleanly
+  /// Cells whose artifacts a --resume session reused instead of re-running.
+  std::size_t cells_resumed = 0;
+};
+
+/// Delay before launch attempt `attempt` (1-based) of the job starting at
+/// absolute cell `job_begin`: zero for the first attempt, then
+/// min(backoff_cap, backoff_base * 2^(attempt-2)) plus a jitter in
+/// [0, backoff_base) derived via SplitMix64 from (spec.seed, job_begin,
+/// attempt) — a pure function, so a farm's entire retry schedule replays
+/// from its seed.
+std::chrono::milliseconds retry_backoff(const FarmSpec& spec,
+                                        std::size_t job_begin,
+                                        std::size_t attempt);
+
+/// Complement of `covered` within [0, total): the ranges a resume must
+/// still execute. Empty input ranges are ignored; overlapping ranges throw
+/// std::invalid_argument (overlap means two artifacts claim the same cell,
+/// which merge would also reject — better to name it at plan time).
+std::vector<CellRange> missing_ranges(std::vector<CellRange> covered,
+                                      std::size_t total);
+
+/// What scan_artifacts found in a session directory.
+struct ArtifactScan {
+  std::vector<std::string> files;  ///< complete shard JSONs, sorted by name
+  std::vector<CellRange> covered;  ///< files[i] covers covered[i]
+  std::vector<CellRange> missing;  ///< complement — what resume must run
+};
+
+/// Scans `dir` for complete shard artifacts (cells_*.json; in-flight
+/// ".partial" files are ignored by construction) and validates each
+/// against the plan: a fingerprint or cells_total mismatch throws
+/// std::invalid_argument naming the offending file, because silently
+/// merging a foreign artifact into a resumed session is the one
+/// unrecoverable farm failure.
+ArtifactScan scan_artifacts(const std::string& dir, const SweepPlan& plan);
+
+/// Runs the whole farm session: plans jobs (plan.shard(i, shards), minus
+/// already-covered ranges when resuming), launches/retries/reaps children,
+/// then merges all artifacts into the single-process result. Progress and
+/// lifecycle events go to `log` (nullable, rate-limited). Throws
+/// std::runtime_error when any job exhausts max_attempts, listing the
+/// failed ranges — the artifacts of every finished job stay on disk, so
+/// the next --resume picks up from there.
+FarmResult run_farm(const FarmSpec& spec, const SweepPlan& plan,
+                    std::ostream* log);
+
+}  // namespace mrca::engine

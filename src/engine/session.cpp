@@ -263,6 +263,16 @@ SweepPlan SweepPlan::shard(std::size_t index, std::size_t count) const {
   return result;
 }
 
+SweepPlan SweepPlan::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || begin < begin_ || end > end_) {
+    throw std::invalid_argument(
+        "SweepPlan::slice: range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") not contained in [" +
+        std::to_string(begin_) + ", " + std::to_string(end_) + ")");
+  }
+  return SweepPlan(spec_, cells_, begin, end);
+}
+
 SessionStats run_session(const SweepPlan& plan,
                          const std::vector<RunSink*>& sinks,
                          const SessionOptions& options) {

@@ -83,6 +83,14 @@ class SweepPlan {
   /// Composable — sharding a shard subdivides its range.
   SweepPlan shard(std::size_t index, std::size_t count) const;
 
+  /// The sub-plan covering ABSOLUTE cell range [begin, end). Requires
+  /// cell_begin() <= begin <= end <= cell_end(); throws
+  /// std::invalid_argument otherwise. Unlike shard(), the range is chosen
+  /// by the caller — this is how the farm re-plans the exact missing
+  /// ranges of an interrupted session. The result reports shard (0, 1):
+  /// an explicit range is not a member of any i/n partition.
+  SweepPlan slice(std::size_t begin, std::size_t end) const;
+
   /// The (index, count) of the most recent shard() call, (0, 1) for a full
   /// plan — display only; the cell range is the authoritative identity.
   std::size_t shard_index() const noexcept { return shard_index_; }

@@ -142,24 +142,43 @@ void RecordSink::finish() { out_->flush(); }
 
 void ProgressSink::begin(const SweepPlan& plan) {
   done_ = 0;
+  cells_done_ = 0;
   total_ = plan.num_runs();
+  replicates_ = plan.spec().replicates;
+  shard_index_ = plan.shard_index();
+  shard_count_ = plan.shard_count();
+  cell_begin_ = plan.cell_begin();
+  cell_end_ = plan.cell_end();
+  cells_total_ = plan.total_cells();
+  last_drawn_done_ = static_cast<std::size_t>(-1);
   label_ = "sweep";
   if (!plan.is_full()) {
-    // 0-based, matching the CLI's --shard i/n spelling and the table
-    // footer, so one run never reports two different shard labels.
-    label_ += " [shard " + std::to_string(plan.shard_index()) + "/" +
-              std::to_string(plan.shard_count()) + ": " +
-              std::to_string(plan.num_cells()) + " of " +
-              std::to_string(plan.total_cells()) + " cells]";
+    if (plan.shard_count() > 1) {
+      // 0-based, matching the CLI's --shard i/n spelling and the table
+      // footer, so one run never reports two different shard labels.
+      label_ += " [shard " + std::to_string(plan.shard_index()) + "/" +
+                std::to_string(plan.shard_count()) + ": " +
+                std::to_string(plan.num_cells()) + " of " +
+                std::to_string(plan.total_cells()) + " cells]";
+    } else {
+      // An explicit --cells slice has no i/n identity; name the range.
+      label_ += " [cells " + std::to_string(plan.cell_begin()) + ":" +
+                std::to_string(plan.cell_end()) + " of " +
+                std::to_string(plan.total_cells()) + "]";
+    }
   }
-  // First frame immediately: a long first task should not look like a hang.
+  begin_time_ = std::chrono::steady_clock::now();
+  // First frame immediately: a long first task should not look like a hang
+  // (and in JSON mode the zero-progress line is the child's "I'm alive").
   draw();
-  last_draw_ = std::chrono::steady_clock::now();
+  last_draw_ = begin_time_;
 }
 
 void ProgressSink::consume(const RunRecord& record) {
-  (void)record;
   ++done_;
+  // Tasks arrive cell-major, replicate-minor: the last replicate closes
+  // its cell.
+  if (record.replicate + 1 == replicates_) ++cells_done_;
   const auto now = std::chrono::steady_clock::now();
   if (done_ == total_ || now - last_draw_ >= min_interval_) {
     draw();
@@ -169,11 +188,30 @@ void ProgressSink::consume(const RunRecord& record) {
 
 void ProgressSink::finish() {
   draw();
-  *out_ << '\n';
+  if (format_ == Format::kHuman) *out_ << '\n';
   out_->flush();
 }
 
 void ProgressSink::draw() {
+  if (format_ == Format::kJson) {
+    if (done_ == last_drawn_done_) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin_time_)
+            .count();
+    *out_ << "{\"type\":\"progress\",\"shard_index\":" << shard_index_
+          << ",\"shard_count\":" << shard_count_
+          << ",\"cell_begin\":" << cell_begin_
+          << ",\"cell_end\":" << cell_end_
+          << ",\"cells_total\":" << cells_total_
+          << ",\"cells_done\":" << cells_done_
+          << ",\"runs_done\":" << done_ << ",\"runs_total\":" << total_
+          << ",\"records\":" << done_
+          << ",\"elapsed_s\":" << json_number(elapsed) << "}\n"
+          << std::flush;
+    last_drawn_done_ = done_;
+    return;
+  }
   const std::size_t percent = total_ == 0 ? 100 : done_ * 100 / total_;
   *out_ << '\r' << label_ << ": " << done_ << '/' << total_ << " runs ("
         << percent << "%)" << std::flush;

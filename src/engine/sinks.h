@@ -67,12 +67,24 @@ class RecordSink final : public RunSink {
 /// finish() terminates the line. Display only — deliberately the one sink
 /// whose output depends on timing, which is why it writes to stderr and
 /// never into a result file.
+///
+/// Format::kJson swaps the human frame for one strict-JSON object per
+/// update (same rate limit, same always-on-final-run rule, no '\r'):
+///   {"type":"progress","shard_index":i,"shard_count":n,"cell_begin":B,
+///    "cell_end":E,"cells_total":T,"cells_done":c,"runs_done":d,
+///    "runs_total":t,"records":d,"elapsed_s":x}
+/// This is the machine seam `mrca farm` reads from each child's stderr:
+/// counters are monotonic so a parser may drop lines, and any line at all
+/// doubles as a liveness signal for the stall watchdog.
 class ProgressSink final : public RunSink {
  public:
+  enum class Format { kHuman, kJson };
+
   explicit ProgressSink(
       std::ostream& out,
-      std::chrono::milliseconds min_interval = std::chrono::milliseconds(100))
-      : out_(&out), min_interval_(min_interval) {}
+      std::chrono::milliseconds min_interval = std::chrono::milliseconds(100),
+      Format format = Format::kHuman)
+      : out_(&out), min_interval_(min_interval), format_(format) {}
 
   void begin(const SweepPlan& plan) override;
   void consume(const RunRecord& record) override;
@@ -83,10 +95,22 @@ class ProgressSink final : public RunSink {
 
   std::ostream* out_;
   std::chrono::milliseconds min_interval_;
+  Format format_ = Format::kHuman;
   std::chrono::steady_clock::time_point last_draw_;
+  std::chrono::steady_clock::time_point begin_time_;
   std::string label_;
   std::size_t done_ = 0;
   std::size_t total_ = 0;
+  std::size_t cells_done_ = 0;
+  std::size_t replicates_ = 1;
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;
+  std::size_t cell_begin_ = 0;
+  std::size_t cell_end_ = 0;
+  std::size_t cells_total_ = 0;
+  /// done_ value of the last JSON line, so finish() never duplicates the
+  /// final-run line consume() already emitted.
+  std::size_t last_drawn_done_ = 0;
 };
 
 }  // namespace mrca::engine

@@ -1,7 +1,5 @@
 #include "engine/sweep_io.h"
 
-#include <cctype>
-#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -12,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/table.h"
 
 namespace mrca::engine {
@@ -302,208 +301,9 @@ std::string sweep_to_table(const SweepResult& result) {
 
 namespace {
 
-/// Minimal JSON DOM for re-reading our own writer's output. Numbers are
-/// kept as double (every value we serialize — counts included — is
-/// exactly representable; 17-significant-digit text round-trips the bits).
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue& at(const std::string& key) const {
-    for (const auto& [name, value] : object) {
-      if (name == key) return value;
-    }
-    throw std::invalid_argument("sweep_from_json: missing key '" + key + "'");
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    skip_ws();
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return value;
-  }
-
-  /// Our own writer nests 4 levels deep; anything beyond this is a foreign
-  /// (or adversarial) document, rejected before the recursive descent can
-  /// exhaust the stack.
-  static constexpr std::size_t kMaxDepth = 64;
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::invalid_argument("sweep_from_json: " + why + " at offset " +
-                                std::to_string(pos_));
-  }
-
-  bool eof() const { return pos_ >= text_.size(); }
-  char peek() const {
-    if (eof()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char ch) {
-    if (peek() != ch) fail(std::string("expected '") + ch + "'");
-    ++pos_;
-  }
-  void skip_ws() {
-    while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                      text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  JsonValue parse_value() {
-    if (depth_ >= kMaxDepth) fail("nesting too deep");
-    JsonValue value;
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"':
-        value.kind = JsonValue::Kind::kString;
-        value.string = parse_string();
-        return value;
-      case 't':
-        literal("true");
-        value.kind = JsonValue::Kind::kBool;
-        value.boolean = true;
-        return value;
-      case 'f':
-        literal("false");
-        value.kind = JsonValue::Kind::kBool;
-        return value;
-      case 'n':
-        literal("null");
-        return value;  // kNull
-      default:
-        value.kind = JsonValue::Kind::kNumber;
-        value.number = parse_number();
-        return value;
-    }
-  }
-
-  void literal(const char* word) {
-    const std::size_t length = std::char_traits<char>::length(word);
-    if (text_.compare(pos_, length, word) != 0) fail("bad literal");
-    pos_ += length;
-  }
-
-  JsonValue parse_object() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    ++depth_;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') { ++pos_; --depth_; return value; }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      value.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      --depth_;
-      return value;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    ++depth_;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') { ++pos_; --depth_; return value; }
-    for (;;) {
-      skip_ws();
-      value.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      --depth_;
-      return value;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (eof()) fail("unterminated string");
-      const char ch = text_[pos_++];
-      if (ch == '"') return out;
-      if (ch != '\\') {
-        out += ch;
-        continue;
-      }
-      if (eof()) fail("dangling escape");
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char digit = text_[pos_++];
-            code <<= 4;
-            if (digit >= '0' && digit <= '9') code |= digit - '0';
-            else if (digit >= 'a' && digit <= 'f') code |= digit - 'a' + 10;
-            else if (digit >= 'A' && digit <= 'F') code |= digit - 'A' + 10;
-            else fail("bad \\u escape");
-          }
-          // Our writer only emits \u00XX for control characters; reject
-          // anything wider rather than mis-decoding it.
-          if (code > 0xff) fail("unsupported \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  double parse_number() {
-    const std::size_t start = pos_;
-    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
-    while (!eof() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                      text_[pos_] == '.' || text_[pos_] == 'e' ||
-                      text_[pos_] == 'E' || text_[pos_] == '+' ||
-                      text_[pos_] == '-')) {
-      ++pos_;
-    }
-    double value = 0.0;
-    const auto [end, ec] =
-        std::from_chars(text_.data() + start, text_.data() + pos_, value);
-    if (ec != std::errc{} || end != text_.data() + pos_ || start == pos_) {
-      pos_ = start;
-      fail("bad number");
-    }
-    return value;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::size_t depth_ = 0;
-};
-
+// The DOM and parser live in common/json (shared with the farm's progress
+// and manifest readers); the typed accessors below keep sweep_from_json's
+// error-message contract ("sweep_from_json: ..." naming the field).
 std::size_t as_count(const JsonValue& value, const char* what) {
   if (value.kind != JsonValue::Kind::kNumber || value.number < 0.0 ||
       value.number != std::floor(value.number)) {
@@ -547,7 +347,7 @@ RunningStats stats_from_json(const JsonValue& value, const char* what) {
 }  // namespace
 
 SweepResult sweep_from_json(const std::string& text) {
-  const JsonValue root = JsonParser(text).parse();
+  const JsonValue root = JsonValue::parse(text);
   if (root.kind != JsonValue::Kind::kObject) {
     throw std::invalid_argument("sweep_from_json: root is not an object");
   }

@@ -7,7 +7,8 @@
 //   rates    [options]                print R(k) tables for the MAC models
 //   simulate N C k [options]          NE + packet-level DES validation
 //   sweep    [options]                parallel batch experiments over a grid
-//   merge    FILE... [options]        combine sharded sweep JSON outputs
+//   merge    FILE|DIR... [options]    combine sharded sweep JSON outputs
+//   farm     [options]                multi-process sweep with crash-resume
 //
 // Common options:
 //   --rate tdma|dcf|dcf-opt|powerlaw=<alpha>    rate function (default tdma)
@@ -34,24 +35,63 @@
 //                                               outputs recombine with
 //                                               `mrca merge` into exactly
 //                                               the non-sharded output
+//   --cells <b>:<e>                             run only the absolute cell
+//                                               range [b, e) — the seam the
+//                                               farm uses to re-plan exactly
+//                                               the missing cells of a
+//                                               crashed session
 //   --records <path>                            stream one JSONL row per
 //                                               finished run to <path>
+//                                               (written atomically: .tmp
+//                                               sibling, renamed on success)
 //   --progress                                  live progress on stderr
+//   --progress-json                             one strict-JSON progress
+//                                               line per update on stderr —
+//                                               what `mrca farm` parses from
+//                                               its children
+//
+// Farm options (everything not listed is forwarded to the shard children
+// as sweep flags):
+//   --shards <n> --dir <path>                   shard count + session dir
+//   --jobs <n>                                  children at once (0 = shards)
+//   --retries <n>                               relaunches per job after the
+//                                               first attempt (default 2)
+//   --backoff-ms / --backoff-cap-ms             retry backoff schedule
+//   --watchdog-seconds <n>                      kill children silent this
+//                                               long (0 = off)
+//   --farm-seed <u64>                           seeds backoff jitter only
+//   --subdivide                                 halve a failed job's range
+//                                               on retry
+//   --resume                                    re-plan the missing cells of
+//                                               an existing session dir
+//   --inject-crash / --inject-stall <c>:<a>     deterministic CI fault: the
+//                                               job owning cell c fails on
+//                                               launch attempt a
 //
 // MATRIX uses the canonical key format: rows '|', cells ',',
 // e.g. "1,1,0|0,1,1".
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "common/json.h"
+#include "engine/farm.h"
 #include "mrca.h"
 
 namespace {
@@ -89,8 +129,14 @@ struct CliOptions {
   bool scenario_given = false;
   // streaming session options (sweep only)
   std::string shard;         ///< "<i>/<n>", empty = run the full plan
+  std::string cells;         ///< "<b>:<e>" absolute range, empty = full plan
   std::string records_path;  ///< empty = no JSONL record stream
   bool progress = false;
+  bool progress_json = false;
+  // Deterministic fault hooks (hidden; CI/testing only): die or hang when
+  // the first record of the given ABSOLUTE cell is delivered.
+  std::optional<std::size_t> crash_at_cell;
+  std::optional<std::size_t> stall_at_cell;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -108,13 +154,23 @@ struct CliOptions {
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
       "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
-      "           [--shard I/N] [--records PATH] [--progress]\n"
+      "           [--shard I/N | --cells B:E] [--records PATH]\n"
+      "           [--progress | --progress-json]\n"
       "           (L = comma list or lo:hi[:step] range)\n"
-      "  merge    FILE... [--format table|csv|json]\n"
+      "  merge    FILE|DIR... [--format table|csv|json]\n"
       "           combine shard JSON outputs (sweep --shard I/N --format\n"
       "           json) into the aggregate the non-sharded sweep would\n"
       "           have produced; shards must cover every cell exactly once\n"
-      "           and share one spec fingerprint\n"
+      "           and share one spec fingerprint; a directory argument\n"
+      "           merges every *.json inside it in sorted order\n"
+      "  farm     [sweep flags] --shards N [--dir PATH] [--jobs N]\n"
+      "           [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n"
+      "           [--watchdog-seconds S] [--farm-seed S] [--subdivide]\n"
+      "           [--records PATH] [--format table|csv|json]\n"
+      "           [--inject-crash C:A] [--inject-stall C:A]\n"
+      "           run the sweep as N shard subprocesses with retry +\n"
+      "           crash-resume; `farm --resume --dir PATH` continues an\n"
+      "           interrupted session from its artifacts\n"
       "rate specs (all commands): tdma | dcf | dcf-opt | powerlaw=<alpha>\n"
       "                         | geom=<decay> | linear=<slope>\n"
       "scenarios (sweep):  base | energy=<cost,..> | het=<scale:scale,..>\n"
@@ -243,6 +299,8 @@ CliOptions parse_options(int argc, char** argv, int first) {
       options.format = need_value(arg);
     } else if (arg == "--shard") {
       options.shard = need_value(arg);
+    } else if (arg == "--cells") {
+      options.cells = need_value(arg);
     } else if (arg == "--records") {
       options.records_path = need_value(arg);
       if (options.records_path.empty()) {
@@ -250,6 +308,12 @@ CliOptions parse_options(int argc, char** argv, int first) {
       }
     } else if (arg == "--progress") {
       options.progress = true;
+    } else if (arg == "--progress-json") {
+      options.progress_json = true;
+    } else if (arg == "--crash-at-cell") {
+      options.crash_at_cell = parse_count(arg, need_value(arg));
+    } else if (arg == "--stall-at-cell") {
+      options.stall_at_cell = parse_count(arg, need_value(arg));
     } else if (arg == "--sim") {
       options.sim_mac = need_value(arg);
     } else if (arg == "--sim-seconds") {
@@ -463,11 +527,10 @@ engine::RateSpec parse_rate_spec(const std::string& text) {
   return engine::RateSpec::parse(text);
 }
 
-int cmd_sweep(const CliOptions& options) {
-  if (!options.positional.empty()) {
-    usage("sweep takes no positional arguments; use --users/--channels/"
-          "--radios (got '" + options.positional.front() + "')");
-  }
+/// Builds the sweep grid from the parsed flags — shared by `sweep` (which
+/// executes it) and `farm` (which needs the identical plan and fingerprint
+/// for job planning and artifact validation).
+engine::SweepSpec build_sweep_spec(const CliOptions& options) {
   engine::SweepSpec spec;
   spec.users = parse_size_list("--users", options.users_list);
   spec.channels = parse_size_list("--channels", options.channels_list);
@@ -505,14 +568,61 @@ int cmd_sweep(const CliOptions& options) {
     usage("--sim-seconds/--sim-replicates have no effect without "
           "--sim dcf|tdma");
   }
-  const engine::SweepFormat format =
-      engine::parse_sweep_format(options.format);
+  return spec;
+}
 
-  engine::SweepPlan plan = engine::SweepPlan::build(spec);
+/// Builds + validates the plan (shared `sweep`/`farm` entry error).
+engine::SweepPlan build_sweep_plan(const CliOptions& options) {
+  const engine::SweepPlan plan =
+      engine::SweepPlan::build(build_sweep_spec(options));
   if (plan.total_cells() == 0) {
     usage("the grid has no valid (N, C, k) combination: every radios value "
           "exceeds every channels value (model requires k <= |C|)");
   }
+  return plan;
+}
+
+/// Hidden deterministic fault hook for farm/CI testing: dies (or hangs,
+/// for the watchdog path) when the first record of the chosen ABSOLUTE
+/// cell is delivered. Registered as the FIRST sink, so the poisoned cell
+/// never reaches the aggregate or the record stream — exactly like a real
+/// mid-cell crash.
+class FaultSink final : public engine::RunSink {
+ public:
+  FaultSink(std::size_t cell, bool stall) : cell_(cell), stall_(stall) {}
+
+  void consume(const engine::RunRecord& record) override {
+    if (record.cell.index != cell_) return;
+    if (stall_) {
+      // Hang without exiting: only the farm watchdog can reclaim us.
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    // No stack unwinding, no stream flushing — a genuine torn-state crash.
+    std::_Exit(70);
+  }
+
+ private:
+  std::size_t cell_;
+  bool stall_;
+};
+
+int cmd_sweep(const CliOptions& options) {
+  if (!options.positional.empty()) {
+    usage("sweep takes no positional arguments; use --users/--channels/"
+          "--radios (got '" + options.positional.front() + "')");
+  }
+  if (!options.shard.empty() && !options.cells.empty()) {
+    usage("--shard and --cells are mutually exclusive");
+  }
+  if (options.progress && options.progress_json) {
+    usage("--progress and --progress-json are mutually exclusive");
+  }
+  const engine::SweepFormat format =
+      engine::parse_sweep_format(options.format);
+
+  engine::SweepPlan plan = build_sweep_plan(options);
   if (!options.shard.empty()) {
     // "<i>/<n>", 0-based: shard 0/3, 1/3, 2/3 partition the plan's cells.
     const std::size_t slash = options.shard.find('/');
@@ -531,30 +641,76 @@ int cmd_sweep(const CliOptions& options) {
     }
     plan = plan.shard(index, count);
   }
+  if (!options.cells.empty()) {
+    const std::size_t colon = options.cells.find(':');
+    if (colon == std::string::npos) {
+      usage("invalid value '" + options.cells +
+            "' for --cells (expected <begin>:<end>, e.g. 0:12)");
+    }
+    const auto begin = static_cast<std::size_t>(
+        parse_u64("--cells", options.cells.substr(0, colon)));
+    const auto end = static_cast<std::size_t>(
+        parse_u64("--cells", options.cells.substr(colon + 1)));
+    if (begin > end || end > plan.total_cells()) {
+      usage("--cells range [" + std::to_string(begin) + ", " +
+            std::to_string(end) + ") is not contained in [0, " +
+            std::to_string(plan.total_cells()) + ")");
+    }
+    plan = plan.slice(begin, end);
+  }
+
+  // Fault hooks: hidden flags first, then the env fallback so the farm's
+  // CI job can poison one shard of an otherwise flag-identical fleet.
+  std::optional<std::size_t> crash_cell = options.crash_at_cell;
+  if (!crash_cell && !options.stall_at_cell) {
+    if (const char* env = std::getenv("MRCA_CRASH_AT_CELL")) {
+      crash_cell = parse_count("MRCA_CRASH_AT_CELL", env);
+    }
+  }
 
   engine::AggregatingSink aggregate;
-  std::vector<engine::RunSink*> sinks{&aggregate};
+  std::vector<engine::RunSink*> sinks;
+  std::optional<FaultSink> fault;
+  if (crash_cell) {
+    sinks.push_back(&fault.emplace(*crash_cell, /*stall=*/false));
+  } else if (options.stall_at_cell) {
+    sinks.push_back(&fault.emplace(*options.stall_at_cell, /*stall=*/true));
+  }
+  sinks.push_back(&aggregate);
+  // Records stream to a ".tmp" sibling, renamed only on clean completion:
+  // a crashed or killed sweep can never leave a torn file under the final
+  // name, which is what makes farm record shards trustworthy.
+  const std::string records_tmp =
+      options.records_path.empty() ? "" : options.records_path + ".tmp";
   std::ofstream records_file;
   std::optional<engine::RecordSink> records;
-  if (!options.records_path.empty()) {
-    records_file.open(options.records_path,
-                      std::ios::out | std::ios::trunc);
+  if (!records_tmp.empty()) {
+    records_file.open(records_tmp, std::ios::out | std::ios::trunc);
     if (!records_file) {
-      usage("cannot open '" + options.records_path + "' for --records");
+      usage("cannot open '" + records_tmp + "' for --records");
     }
     sinks.push_back(&records.emplace(records_file));
   }
   std::optional<engine::ProgressSink> progress;
-  if (options.progress) sinks.push_back(&progress.emplace(std::cerr));
+  if (options.progress || options.progress_json) {
+    sinks.push_back(&progress.emplace(
+        std::cerr, std::chrono::milliseconds(100),
+        options.progress_json ? engine::ProgressSink::Format::kJson
+                              : engine::ProgressSink::Format::kHuman));
+  }
 
   engine::SessionOptions session_options;
   session_options.threads = options.threads;
   const engine::SessionStats stats =
       engine::run_session(plan, sinks, session_options);
-  if (records_file.is_open() && !records_file) {
-    std::cerr << "error: writing --records file '" << options.records_path
-              << "' failed\n";
-    return 2;
+  if (records_file.is_open()) {
+    records_file.close();
+    if (!records_file) {
+      std::cerr << "error: writing --records file '" << records_tmp
+                << "' failed\n";
+      return 2;
+    }
+    std::filesystem::rename(records_tmp, options.records_path);
   }
   engine::SweepResult result = std::move(aggregate).take_result();
   result.threads_used = stats.threads_used;
@@ -563,9 +719,14 @@ int cmd_sweep(const CliOptions& options) {
     std::cout << result.cells.size() << " cells, " << result.total_runs
               << " runs on " << result.threads_used << " thread(s)";
     if (!plan.is_full()) {
-      std::cout << " (shard " << plan.shard_index() << "/"
-                << plan.shard_count() << " of " << plan.total_cells()
-                << " cells)";
+      if (plan.shard_count() > 1) {
+        std::cout << " (shard " << plan.shard_index() << "/"
+                  << plan.shard_count() << " of " << plan.total_cells()
+                  << " cells)";
+      } else {
+        std::cout << " (cells " << plan.cell_begin() << ":"
+                  << plan.cell_end() << " of " << plan.total_cells() << ")";
+      }
     }
     std::cout << '\n';
   }
@@ -574,13 +735,37 @@ int cmd_sweep(const CliOptions& options) {
 
 int cmd_merge(const CliOptions& options) {
   if (options.positional.empty()) {
-    usage("merge needs at least one shard JSON file");
+    usage("merge needs at least one shard JSON file or directory");
   }
   const engine::SweepFormat format =
       engine::parse_sweep_format(options.format);
+  // A directory argument stands for every *.json inside it, sorted by name
+  // (deterministic order) — the shape a farm session directory has. The
+  // farm.json manifest is session metadata, not a shard, so it is skipped.
+  std::vector<std::string> paths;
+  for (const std::string& arg : options.positional) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(arg, ec)) {
+      paths.push_back(arg);
+      continue;
+    }
+    std::vector<std::string> inside;
+    for (const std::filesystem::directory_entry& entry :
+         std::filesystem::directory_iterator(arg)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".json") continue;
+      if (entry.path().filename() == "farm.json") continue;
+      inside.push_back(entry.path().string());
+    }
+    if (inside.empty()) {
+      usage("merge: directory '" + arg + "' contains no *.json shard files");
+    }
+    std::sort(inside.begin(), inside.end());
+    paths.insert(paths.end(), inside.begin(), inside.end());
+  }
   std::vector<engine::SweepResult> shards;
-  shards.reserve(options.positional.size());
-  for (const std::string& path : options.positional) {
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) usage("merge: cannot read '" + path + "'");
     std::ostringstream text;
@@ -592,13 +777,258 @@ int cmd_merge(const CliOptions& options) {
             error.what() + ")");
     }
   }
-  // Mismatched shards (foreign spec, overlap, gap) throw invalid_argument,
-  // which main() reports and turns into exit 2.
+  // Fingerprint pre-check with FILE NAMES: merge_sweep_results knows only
+  // the values, but "which two files disagree" is the actionable part when
+  // a foreign artifact sneaks into a shard directory.
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    if (shards[i].spec_fingerprint != shards[0].spec_fingerprint) {
+      usage("merge: spec fingerprint mismatch: '" + paths[0] + "' has '" +
+            shards[0].spec_fingerprint + "' but '" + paths[i] + "' has '" +
+            shards[i].spec_fingerprint + "'");
+    }
+  }
+  // Remaining mismatches (overlap, gap, metric columns) throw
+  // invalid_argument, which main() reports and turns into exit 2.
   const engine::SweepResult merged = engine::merge_sweep_results(shards);
   engine::write_sweep(std::cout, merged, format);
   if (format == engine::SweepFormat::kTable) {
     std::cout << merged.cells.size() << " cells, " << merged.total_runs
               << " runs merged from " << shards.size() << " shard(s)\n";
+  }
+  return 0;
+}
+
+/// Re-enters the normal flag parser over an owned argument vector — how
+/// `farm` validates the sweep flags it forwards (and the ones a manifest
+/// restores) with byte-identical error behavior to `mrca sweep` itself.
+CliOptions parse_sweep_args(const std::vector<std::string>& args) {
+  std::vector<std::string> storage;
+  storage.reserve(args.size() + 2);
+  storage.emplace_back("mrca");
+  storage.emplace_back("sweep");
+  storage.insert(storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return parse_options(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+/// The path farm children are launched from: this very binary.
+std::string self_cli_path(const char* argv0) {
+#ifdef __unix__
+  char buffer[4096];
+  const ssize_t length =
+      ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (length > 0) {
+    buffer[length] = '\0';
+    return std::string(buffer);
+  }
+#endif
+  return argv0;
+}
+
+/// "<cell>:<attempt>" for --inject-crash / --inject-stall.
+engine::FaultInjection parse_injection(const std::string& flag,
+                                       const std::string& text,
+                                       engine::FaultInjection::Kind kind) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    usage("invalid value '" + text + "' for " + flag +
+          " (expected <cell>:<attempt>, e.g. 3:1)");
+  }
+  engine::FaultInjection inject;
+  inject.kind = kind;
+  inject.cell = parse_count(flag, text.substr(0, colon));
+  inject.attempt = parse_positive_count(flag, text.substr(colon + 1));
+  return inject;
+}
+
+/// Writes `<dir>/farm.json` atomically: what a later `farm --resume` needs
+/// to rebuild the identical plan without the user re-typing (or mistyping)
+/// the sweep flags.
+void write_farm_manifest(const std::string& dir,
+                         const std::string& fingerprint,
+                         std::size_t cells_total, std::size_t shards,
+                         const std::vector<std::string>& sweep_args) {
+  std::string doc = "{\"version\":1,\"fingerprint\":\"" +
+                    engine::json_escape(fingerprint) +
+                    "\",\"cells_total\":" + std::to_string(cells_total) +
+                    ",\"shards\":" + std::to_string(shards) +
+                    ",\"sweep_args\":[";
+  for (std::size_t i = 0; i < sweep_args.size(); ++i) {
+    if (i != 0) doc += ',';
+    doc += '"' + engine::json_escape(sweep_args[i]) + '"';
+  }
+  doc += "]}\n";
+  const std::string path = dir + "/farm.json";
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+  if (!out) usage("farm: cannot write '" + tmp + "'");
+  out << doc;
+  out.close();
+  if (!out) usage("farm: failed writing '" + tmp + "'");
+  std::filesystem::rename(tmp, path);
+}
+
+int cmd_farm(int argc, char** argv) {
+  std::string dir = "mrca-farm";
+  std::size_t shards = 1;
+  bool shards_given = false;
+  std::size_t jobs = 0;
+  std::size_t retries = 2;
+  std::uint64_t backoff_ms = 250;
+  std::uint64_t backoff_cap_ms = 10000;
+  std::uint64_t watchdog_seconds = 0;
+  std::uint64_t farm_seed = 1;
+  bool subdivide = false;
+  bool resume = false;
+  std::string records_path;
+  std::string format_text = "table";
+  std::optional<engine::FaultInjection> inject;
+  std::vector<std::string> sweep_args;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (arg == "--shards") {
+      shards = parse_positive_count(arg, need_value(arg));
+      shards_given = true;
+    } else if (arg == "--dir") {
+      dir = need_value(arg);
+      if (dir.empty()) usage("missing path for --dir");
+    } else if (arg == "--jobs") {
+      jobs = parse_count(arg, need_value(arg));
+    } else if (arg == "--retries") {
+      retries = parse_count(arg, need_value(arg));
+    } else if (arg == "--backoff-ms") {
+      backoff_ms = parse_u64(arg, need_value(arg));
+    } else if (arg == "--backoff-cap-ms") {
+      backoff_cap_ms = parse_u64(arg, need_value(arg));
+    } else if (arg == "--watchdog-seconds") {
+      watchdog_seconds = parse_u64(arg, need_value(arg));
+    } else if (arg == "--farm-seed") {
+      farm_seed = parse_u64(arg, need_value(arg));
+    } else if (arg == "--subdivide") {
+      subdivide = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--records") {
+      records_path = need_value(arg);
+      if (records_path.empty()) usage("missing path for --records");
+    } else if (arg == "--format") {
+      format_text = need_value(arg);
+    } else if (arg == "--inject-crash") {
+      inject = parse_injection(arg, need_value(arg),
+                               engine::FaultInjection::Kind::kCrash);
+    } else if (arg == "--inject-stall") {
+      inject = parse_injection(arg, need_value(arg),
+                               engine::FaultInjection::Kind::kStall);
+    } else if (arg == "--shard" || arg == "--cells" || arg == "--progress" ||
+               arg == "--progress-json" || arg == "--crash-at-cell" ||
+               arg == "--stall-at-cell") {
+      usage(arg + " is managed by mrca farm and cannot be forwarded to the "
+                  "sweep children");
+    } else {
+      sweep_args.push_back(arg);
+    }
+  }
+  const engine::SweepFormat format = engine::parse_sweep_format(format_text);
+  if (inject && inject->kind == engine::FaultInjection::Kind::kStall &&
+      watchdog_seconds == 0) {
+    usage("--inject-stall hangs a child forever without --watchdog-seconds");
+  }
+
+  std::string manifest_fingerprint;
+  if (resume) {
+    if (!sweep_args.empty()) {
+      usage("farm --resume restores the sweep flags from '" + dir +
+            "/farm.json'; drop '" + sweep_args.front() + "'");
+    }
+    const std::string manifest_path = dir + "/farm.json";
+    std::ifstream in(manifest_path);
+    if (!in) {
+      usage("farm: no session manifest '" + manifest_path +
+            "' to resume from");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const JsonValue manifest = JsonValue::parse(text.str());
+      manifest_fingerprint = manifest.at("fingerprint").string;
+      for (const JsonValue& item : manifest.at("sweep_args").array) {
+        sweep_args.push_back(item.string);
+      }
+      if (!shards_given) {
+        shards = static_cast<std::size_t>(manifest.at("shards").number);
+      }
+    } catch (const std::invalid_argument& error) {
+      usage("farm: manifest '" + manifest_path + "' is malformed (" +
+            error.what() + ")");
+    }
+  }
+
+  const CliOptions sweep_options = parse_sweep_args(sweep_args);
+  if (!sweep_options.positional.empty()) {
+    usage("farm: unexpected positional argument '" +
+          sweep_options.positional.front() + "'");
+  }
+  // A hand-edited manifest is the only way these can be set here; reject
+  // them the same way the forwarding loop does.
+  if (!sweep_options.shard.empty() || !sweep_options.cells.empty() ||
+      !sweep_options.records_path.empty() || sweep_options.progress ||
+      sweep_options.progress_json || sweep_options.crash_at_cell ||
+      sweep_options.stall_at_cell) {
+    usage("farm: the session manifest carries farm-managed sweep flags");
+  }
+  const engine::SweepPlan plan = build_sweep_plan(sweep_options);
+  const std::string fingerprint = plan.spec().fingerprint();
+  if (resume && manifest_fingerprint != fingerprint) {
+    usage("farm: manifest fingerprint '" + manifest_fingerprint +
+          "' does not match the plan rebuilt from its own sweep_args ('" +
+          fingerprint + "') — manifest edited?");
+  }
+
+  engine::FarmSpec farm;
+  farm.cli_path = self_cli_path(argv[0]);
+  farm.dir = dir;
+  farm.sweep_args = sweep_args;
+  farm.shards = shards;
+  farm.max_parallel = jobs;
+  farm.max_attempts = retries + 1;
+  farm.backoff_base =
+      std::chrono::milliseconds(static_cast<std::int64_t>(backoff_ms));
+  farm.backoff_cap =
+      std::chrono::milliseconds(static_cast<std::int64_t>(backoff_cap_ms));
+  farm.watchdog =
+      std::chrono::seconds(static_cast<std::int64_t>(watchdog_seconds));
+  farm.seed = farm_seed;
+  farm.subdivide = subdivide;
+  farm.resume = resume;
+  farm.inject = inject;
+  farm.records_path = records_path;
+
+  if (!resume) {
+    std::filesystem::create_directories(dir);
+    write_farm_manifest(dir, fingerprint, plan.total_cells(), shards,
+                        sweep_args);
+  }
+
+  // Failures (a job out of attempts, an unmergeable directory) throw and
+  // become exit 2 in main(); completed shards stay in `dir` for --resume.
+  const engine::FarmResult result = engine::run_farm(farm, plan, &std::cerr);
+  engine::write_sweep(std::cout, result.merged, format);
+  if (format == engine::SweepFormat::kTable) {
+    std::cout << result.merged.cells.size() << " cells, "
+              << result.merged.total_runs << " runs farmed across "
+              << result.jobs << " job(s), " << result.launches
+              << " launch(es)";
+    if (result.cells_resumed > 0) {
+      std::cout << ", " << result.cells_resumed << " cell(s) resumed";
+    }
+    std::cout << '\n';
   }
   return 0;
 }
@@ -609,13 +1039,19 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
+    // farm owns its flag namespace (--shards, --retries, ...) and forwards
+    // the rest verbatim, so it parses argv itself.
+    if (command == "farm") return cmd_farm(argc, argv);
     const CliOptions options = parse_options(argc, argv, 2);
     // The checked-seam convention: a flag with no effect is a mistake to
     // reject, not to ignore (cf. --sim-seconds without --sim).
     if (command != "sweep" &&
-        (!options.shard.empty() || !options.records_path.empty() ||
-         options.progress)) {
-      usage("--shard/--records/--progress apply only to the sweep command");
+        (!options.shard.empty() || !options.cells.empty() ||
+         !options.records_path.empty() || options.progress ||
+         options.progress_json || options.crash_at_cell.has_value() ||
+         options.stall_at_cell.has_value())) {
+      usage("--shard/--cells/--records/--progress/--progress-json apply "
+            "only to the sweep command");
     }
     if (command == "solve") return cmd_solve(options);
     if (command == "verify") return cmd_verify(options);
