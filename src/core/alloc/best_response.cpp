@@ -263,6 +263,7 @@ DynamicsResult run_response_dynamics(const GameModel& model,
     result.scan_skips = cache_ptr->scan_skips();
     result.reprice_touches = cache_ptr->reprice_touches();
   }
+  result.final_welfare = current_welfare();
   return result;
 }
 

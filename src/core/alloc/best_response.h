@@ -78,6 +78,10 @@ struct DynamicsResult {
   std::size_t scan_skips = 0;
   /// Per-user utility updates performed by cache repricing (0 uncached).
   std::size_t reprice_touches = 0;
+  /// Raw welfare of final_state at stop — the engine-agnostic "welfare at
+  /// stop" column every dynamics engine reports, whether or not a welfare
+  /// trace was recorded.
+  double final_welfare = 0.0;
 };
 
 /// Runs the dynamics from `start` until stable or the activation budget is

@@ -1,6 +1,7 @@
 #include "core/analysis/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -179,6 +180,47 @@ std::vector<Metric> make_builtins() {
                                    static_cast<double>(result.total_moves)};
       }});
 
+  // Regret as welfare-trace area: sum over the trace of how far the
+  // system's welfare sat below its final value — 0 when play never dipped
+  // under where it ended, large when the dynamics wandered through
+  // low-welfare allocations before settling. Needs a recorded trace (the
+  // sweep session arranges one; standalone contexts without a trace get an
+  // honest NaN).
+  metrics.push_back(Metric{
+      "regret",
+      {"regret"},
+      [](const MetricContext& context) {
+        const std::vector<double>& trace = context.dynamics.welfare_trace;
+        if (trace.empty()) return std::vector<double>{kNaN};
+        const double final_welfare = trace.back();
+        double area = 0.0;
+        for (const double welfare : trace) {
+          area += std::max(0.0, final_welfare - welfare);
+        }
+        return std::vector<double>{area};
+      },
+      /*needs_welfare_trace=*/true});
+
+  // Shannon entropy (nats) of the final allocation's per-channel occupancy
+  // distribution p_c = load_c / total: ln(|C|) for a perfectly even
+  // spread, 0 when every radio crowds one channel, NaN when nothing is
+  // deployed (no distribution to score).
+  metrics.push_back(Metric{
+      "occupancy_entropy",
+      {"occupancy_entropy"},
+      [](const MetricContext& context) {
+        const StrategyMatrix& state = context.dynamics.final_state;
+        const double total = static_cast<double>(state.total_deployed());
+        if (total <= 0.0) return std::vector<double>{kNaN};
+        double entropy = 0.0;
+        for (const RadioCount load : state.channel_loads()) {
+          if (load == 0) continue;
+          const double p = static_cast<double>(load) / total;
+          entropy -= p * std::log(p);
+        }
+        return std::vector<double>{entropy};
+      }});
+
   return metrics;
 }
 
@@ -248,6 +290,13 @@ void MetricSet::add(Metric metric) {
   }
   num_columns_ += metric.columns.size();
   metrics_.push_back(std::move(metric));
+}
+
+bool MetricSet::needs_welfare_trace() const noexcept {
+  for (const Metric& metric : metrics_) {
+    if (metric.needs_welfare_trace) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> MetricSet::column_names() const {

@@ -123,6 +123,12 @@ struct Metric {
   std::vector<std::string> columns;
   /// Returns exactly columns.size() values; NaN = undefined for this run.
   std::function<std::vector<double>(const MetricContext&)> compute;
+  /// True when compute reads `context.dynamics.welfare_trace`: the sweep
+  /// session turns on DynamicsOptions::record_welfare_trace for the run
+  /// (bookkeeping only — trajectories and Rng draws are unchanged).
+  /// Standalone callers must arrange the trace themselves or the metric
+  /// honestly reports NaN.
+  bool needs_welfare_trace = false;
 };
 
 /// An ordered, name-addressable collection of metrics. Copyable (sweeps
@@ -132,7 +138,8 @@ class MetricSet {
   MetricSet() = default;
 
   /// The built-in registry: nash, single_move, theorem1, poa, welfare_eff,
-  /// pareto, fairness, convergence, distributed.
+  /// pareto, fairness, convergence, distributed, regret,
+  /// occupancy_entropy.
   static const std::vector<Metric>& builtins();
 
   /// Looks up one built-in; throws std::invalid_argument with the list of
@@ -155,6 +162,10 @@ class MetricSet {
   /// All column names in metric order (the sweep's dynamic header block).
   std::vector<std::string> column_names() const;
   std::size_t num_columns() const noexcept { return num_columns_; }
+
+  /// True when any registered metric reads the run's welfare trace (the
+  /// sweep session's cue to record one).
+  bool needs_welfare_trace() const noexcept;
 
   /// Evaluates every metric and returns the flattened column values.
   /// Throws std::logic_error if a compute returns the wrong arity.

@@ -1,0 +1,263 @@
+#include "core/dynamics/engine.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/alloc/distributed.h"
+
+namespace mrca {
+namespace {
+
+/// Shortest decimal form that parses back to the same double — the spec
+/// string is an axis value, so name() must round-trip through parse().
+std::string shortest_double(double value) {
+  std::array<char, 32> buffer{};
+  const auto [end, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  if (ec != std::errc{}) {
+    throw std::logic_error("DynamicsSpec: double formatting failed");
+  }
+  return std::string(buffer.data(), end);
+}
+
+/// Strict double parse: the whole token, finite, no trailing junk.
+double parse_option(const std::string& token, const std::string& spec) {
+  double value = 0.0;
+  const char* begin = token.c_str();
+  const char* end = token.c_str() + token.size();
+  const auto [parsed_end, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || parsed_end != end || !std::isfinite(value)) {
+    throw std::invalid_argument("DynamicsSpec: bad option '" + token +
+                                "' in '" + spec + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> split_colons(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(':', begin);
+    parts.push_back(text.substr(
+        begin, end == std::string::npos ? std::string::npos : end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return parts;
+}
+
+void require_probability(double value, const char* what,
+                         const std::string& spec) {
+  if (!(value > 0.0) || value > 1.0) {
+    throw std::invalid_argument("DynamicsSpec: " + std::string(what) +
+                                " must be in (0, 1] in '" + spec + "'");
+  }
+}
+
+DynamicsResult run_best_response_engine(const DynamicsSpec& /*spec*/,
+                                        const GameModel& model,
+                                        const StrategyMatrix& start,
+                                        const DynamicsOptions& options,
+                                        Rng* rng) {
+  // Verbatim delegation: same cache, same pruning, same Rng stream — a
+  // best_response cell is bit-identical to calling the driver directly.
+  return run_response_dynamics(model, start, options, rng);
+}
+
+DynamicsResult run_distributed_engine(const DynamicsSpec& spec,
+                                      const GameModel& model,
+                                      const StrategyMatrix& start,
+                                      const DynamicsOptions& options,
+                                      Rng& rng) {
+  DistributedOptions dist;
+  dist.activation_probability = spec.activation_probability;
+  // One protocol round is one "activation" in the portfolio's accounting
+  // (each round gives every user a chance to act), so max_passes — the
+  // rounds-of-play budget — wins over the absolute activation cap when set.
+  dist.max_rounds = options.max_passes != 0 ? options.max_passes
+                                            : options.max_activations;
+  dist.tolerance = options.tolerance;
+  DistributedResult outcome =
+      run_distributed_allocation(model, start, dist, rng);
+  DynamicsResult result{outcome.converged, outcome.rounds,
+                        outcome.total_moves, std::move(outcome.final_state),
+                        {}, 0, 0};
+  result.final_welfare = model.raw_welfare(result.final_state);
+  return result;
+}
+
+Rng& require_rng(Rng* rng, const char* engine) {
+  if (rng == nullptr) {
+    throw std::invalid_argument("run_dynamics: engine '" +
+                                std::string(engine) + "' requires an Rng");
+  }
+  return *rng;
+}
+
+std::vector<DynamicsEngine> make_engines() {
+  std::vector<DynamicsEngine> engines;
+  engines.push_back(DynamicsEngine{
+      DynamicsSpec::Kind::kBestResponse, "best_response",
+      run_best_response_engine});
+  engines.push_back(DynamicsEngine{
+      DynamicsSpec::Kind::kLogLinear, "log_linear",
+      [](const DynamicsSpec& spec, const GameModel& model,
+         const StrategyMatrix& start, const DynamicsOptions& options,
+         Rng* rng) {
+        return run_log_linear_dynamics(spec, model, start, options,
+                                       require_rng(rng, "log_linear"));
+      }});
+  engines.push_back(DynamicsEngine{
+      DynamicsSpec::Kind::kTrialError, "trial_error",
+      [](const DynamicsSpec& spec, const GameModel& model,
+         const StrategyMatrix& start, const DynamicsOptions& options,
+         Rng* rng) {
+        return run_trial_error_dynamics(spec, model, start, options,
+                                        require_rng(rng, "trial_error"));
+      }});
+  engines.push_back(DynamicsEngine{
+      DynamicsSpec::Kind::kDistributed, "distributed",
+      [](const DynamicsSpec& spec, const GameModel& model,
+         const StrategyMatrix& start, const DynamicsOptions& options,
+         Rng* rng) {
+        return run_distributed_engine(spec, model, start, options,
+                                      require_rng(rng, "distributed"));
+      }});
+  return engines;
+}
+
+std::string known_engines() {
+  std::string names;
+  for (const DynamicsEngine& engine : dynamics_engines()) {
+    if (!names.empty()) names += ", ";
+    names += engine.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string DynamicsSpec::name() const {
+  switch (kind) {
+    case Kind::kBestResponse:
+      return "best_response";
+    case Kind::kLogLinear:
+      return "log_linear:" + shortest_double(temp_start) + ':' +
+             shortest_double(temp_end);
+    case Kind::kTrialError:
+      return "trial_error:" + shortest_double(exploration);
+    case Kind::kDistributed:
+      return "distributed:" + shortest_double(activation_probability);
+  }
+  throw std::logic_error("DynamicsSpec: unknown kind");
+}
+
+DynamicsSpec DynamicsSpec::parse(const std::string& text) {
+  const std::vector<std::string> parts = split_colons(text);
+  const std::string& head = parts.front();
+  const std::size_t options = parts.size() - 1;
+  DynamicsSpec spec;
+  if (head == "best_response") {
+    if (options != 0) {
+      throw std::invalid_argument(
+          "DynamicsSpec: best_response takes no options ('" + text + "')");
+    }
+    return spec;
+  }
+  if (head == "log_linear") {
+    spec.kind = Kind::kLogLinear;
+    if (options > 2) {
+      throw std::invalid_argument(
+          "DynamicsSpec: log_linear takes at most two options "
+          "(T0[:Tend]) in '" + text + "'");
+    }
+    if (options >= 1) {
+      spec.temp_start = parse_option(parts[1], text);
+      // A single temperature means "play at fixed T" — no annealing.
+      spec.temp_end = options == 2 ? parse_option(parts[2], text)
+                                   : spec.temp_start;
+    }
+    if (!(spec.temp_start > 0.0) || !(spec.temp_end > 0.0)) {
+      throw std::invalid_argument(
+          "DynamicsSpec: log_linear temperatures must be > 0 in '" + text +
+          "'");
+    }
+    return spec;
+  }
+  if (head == "trial_error") {
+    spec.kind = Kind::kTrialError;
+    if (options > 1) {
+      throw std::invalid_argument(
+          "DynamicsSpec: trial_error takes at most one option (eps) in '" +
+          text + "'");
+    }
+    if (options == 1) spec.exploration = parse_option(parts[1], text);
+    require_probability(spec.exploration, "exploration", text);
+    return spec;
+  }
+  if (head == "distributed") {
+    spec.kind = Kind::kDistributed;
+    if (options > 1) {
+      throw std::invalid_argument(
+          "DynamicsSpec: distributed takes at most one option (p) in '" +
+          text + "'");
+    }
+    if (options == 1) {
+      spec.activation_probability = parse_option(parts[1], text);
+    }
+    require_probability(spec.activation_probability,
+                        "activation probability", text);
+    return spec;
+  }
+  throw std::invalid_argument("DynamicsSpec: unknown engine '" + head +
+                              "' (available: " + known_engines() + ")");
+}
+
+std::vector<DynamicsSpec> DynamicsSpec::parse_list(const std::string& text) {
+  std::vector<DynamicsSpec> specs;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(',', begin);
+    const std::string item = text.substr(
+        begin, end == std::string::npos ? std::string::npos : end - begin);
+    if (item.empty()) {
+      throw std::invalid_argument("DynamicsSpec: empty engine name in '" +
+                                  text + "'");
+    }
+    specs.push_back(parse(item));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return specs;
+}
+
+const std::vector<DynamicsEngine>& dynamics_engines() {
+  static const std::vector<DynamicsEngine> engines = make_engines();
+  return engines;
+}
+
+const DynamicsEngine& dynamics_engine(DynamicsSpec::Kind kind) {
+  for (const DynamicsEngine& engine : dynamics_engines()) {
+    if (engine.kind == kind) return engine;
+  }
+  throw std::logic_error("dynamics_engine: unregistered kind");
+}
+
+const DynamicsEngine& dynamics_engine(const std::string& name) {
+  for (const DynamicsEngine& engine : dynamics_engines()) {
+    if (engine.name == name) return engine;
+  }
+  throw std::invalid_argument("unknown dynamics engine '" + name +
+                              "' (available: " + known_engines() + ")");
+}
+
+DynamicsResult run_dynamics(const DynamicsSpec& spec, const GameModel& model,
+                            const StrategyMatrix& start,
+                            const DynamicsOptions& options, Rng* rng) {
+  return dynamics_engine(spec.kind).run(spec, model, start, options, rng);
+}
+
+}  // namespace mrca

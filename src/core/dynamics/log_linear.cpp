@@ -1,0 +1,165 @@
+// Log-linear (Glauber / simulated-annealing) play over the exact potential.
+//
+// Each step activates one uniformly random user and samples its next
+// strategy from the Gibbs distribution over {stay} ∪ {single-radio
+// changes}, with weight exp(benefit / T). For single-radio changes the
+// utility difference IS the Rosenthal potential difference
+// (core/potential.h), so this is exactly Glauber dynamics on the potential
+// landscape: as T -> 0 the stationary distribution concentrates on the
+// potential maximizers, and each step costs one shared-kernel scan — the
+// same O(|C|^2) enumeration the best-response driver uses.
+//
+// The temperature anneals geometrically from spec.temp_start to
+// spec.temp_end over the activation budget (a single parsed temperature
+// pins it). Convergence is declared when a periodic exact check finds the
+// state single-move stable: at low temperature such a state is absorbing
+// up to exp(-gap/T), and the check itself draws no randomness, so the Rng
+// stream stays a pure function of the activation sequence.
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/alloc/utility_cache.h"
+#include "core/analysis/deviation_detail.h"
+#include "core/analysis/nash.h"
+#include "core/dynamics/engine.h"
+
+namespace mrca {
+namespace {
+
+/// Same budget rule as the best-response driver: max_passes (units of full
+/// passes over the users) wins over max_activations when set, saturating.
+std::size_t activation_budget(const DynamicsOptions& options,
+                              std::size_t users) {
+  if (options.max_passes == 0) return options.max_activations;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (options.max_passes > kMax / users) return kMax;
+  return options.max_passes * users;
+}
+
+void apply_change(StrategyMatrix& strategies, const SingleChange& change,
+                  UtilityCache* cache) {
+  switch (change.kind) {
+    case SingleChange::Kind::kMove:
+      if (cache) {
+        cache->move_radio(strategies, change.user, change.from, change.to);
+      } else {
+        strategies.move_radio(change.user, change.from, change.to);
+      }
+      break;
+    case SingleChange::Kind::kDeploy:
+      if (cache) {
+        cache->add_radio(strategies, change.user, change.to);
+      } else {
+        strategies.add_radio(change.user, change.to);
+      }
+      break;
+    case SingleChange::Kind::kPark:
+      if (cache) {
+        cache->remove_radio(strategies, change.user, change.from);
+      } else {
+        strategies.remove_radio(change.user, change.from);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+DynamicsResult run_log_linear_dynamics(const DynamicsSpec& spec,
+                                       const GameModel& model,
+                                       const StrategyMatrix& start,
+                                       const DynamicsOptions& options,
+                                       Rng& rng) {
+  model.validate(start);
+  const std::size_t users = model.num_users();
+  DynamicsResult result{false, 0, 0, start, {}, 0, 0};
+  StrategyMatrix& state = result.final_state;
+  std::optional<UtilityCache> cache;
+  if (options.use_incremental_cache) cache.emplace(model, state);
+  UtilityCache* cache_ptr = cache ? &*cache : nullptr;
+  const auto current_welfare = [&] {
+    return cache_ptr ? cache_ptr->welfare() : model.raw_welfare(state);
+  };
+  if (options.record_welfare_trace) {
+    result.welfare_trace.push_back(current_welfare());
+  }
+
+  const std::size_t budget = activation_budget(options, users);
+  const double ratio = spec.temp_end / spec.temp_start;
+  const auto rate_at = [&](ChannelId c, RadioCount load) {
+    return model.rate(c, load);
+  };
+  detail::ScanBuffers buffers;
+  std::vector<SingleChange> candidates;
+  std::vector<double> weights;
+  UserId user = 0;
+  const auto load_at = [&](ChannelId c) {
+    // The cache's tracked loads equal the model's perceived loads (the
+    // pairing is validated at construction), so both paths see identical
+    // candidates under any topology.
+    return cache_ptr ? cache_ptr->load_seen(user, c)
+                     : model.perceived_load(state, user, c);
+  };
+  while (result.activations < budget) {
+    if (result.activations % users == 0 &&
+        is_single_move_stable(model, state, options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+    const double temp =
+        budget <= 1 || ratio == 1.0
+            ? spec.temp_end
+            : spec.temp_start *
+                  std::pow(ratio, static_cast<double>(result.activations) /
+                                      static_cast<double>(budget - 1));
+    user = static_cast<UserId>(rng.index(users));
+    ++result.activations;
+
+    candidates.clear();
+    weights.clear();
+    double best = 0.0;  // "stay" is always on the menu, at benefit 0
+    const bool has_spare = state.user_total(user) < model.budget(user);
+    detail::scan_single_changes(state, user, rate_at, model.radio_cost(),
+                                has_spare, load_at, buffers,
+                                [&](const SingleChange& change) {
+                                  candidates.push_back(change);
+                                  if (change.benefit > best) {
+                                    best = change.benefit;
+                                  }
+                                });
+    // Gibbs sampling, shifted by the best benefit so the largest weight is
+    // exactly 1 and nothing overflows: weight_i = exp((b_i - best) / T).
+    // At tiny T the stay weight exp(-best/T) underflows to 0 whenever an
+    // improving change exists, which is precisely the argmax limit.
+    const double stay_weight = std::exp(-best / temp);
+    double total = stay_weight;
+    for (const SingleChange& change : candidates) {
+      const double weight = std::exp((change.benefit - best) / temp);
+      weights.push_back(weight);
+      total += weight;
+    }
+    double draw = rng.next_double() * total - stay_weight;
+    if (draw < 0.0) continue;  // stay put
+    std::size_t chosen = candidates.size() - 1;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      draw -= weights[i];
+      if (draw < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    apply_change(state, candidates[chosen], cache_ptr);
+    ++result.improving_steps;
+    if (options.record_welfare_trace) {
+      result.welfare_trace.push_back(current_welfare());
+    }
+  }
+  if (cache_ptr) result.reprice_touches = cache_ptr->reprice_touches();
+  result.final_welfare = current_welfare();
+  return result;
+}
+
+}  // namespace mrca

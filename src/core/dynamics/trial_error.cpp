@@ -1,0 +1,172 @@
+// Payoff-based trial-and-error learning (Bistritz–Leshem style): no
+// deviation oracle, no observed loads, no benefit scan. An activated user
+// occasionally experiments with one uniformly random feasible single-radio
+// change, observes only its OWN realized utility after the change, keeps
+// the change if it improved and reverts otherwise.
+//
+// This is the weakest information model in the portfolio — the learner
+// never evaluates a candidate it did not physically try — yet accepted
+// experiments strictly improve the experimenter's utility, so on the
+// potential landscape the process is a (randomized, lazy) better-response
+// walk: single-move-stable states are absorbing, and the periodic exact
+// stability check below (which draws no randomness) turns that into an
+// honest `converged` verdict.
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/alloc/utility_cache.h"
+#include "core/analysis/deviation.h"
+#include "core/analysis/nash.h"
+#include "core/dynamics/engine.h"
+
+namespace mrca {
+namespace {
+
+/// Same budget rule as the best-response driver: max_passes (units of full
+/// passes over the users) wins over max_activations when set, saturating.
+std::size_t activation_budget(const DynamicsOptions& options,
+                              std::size_t users) {
+  if (options.max_passes == 0) return options.max_activations;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (options.max_passes > kMax / users) return kMax;
+  return options.max_passes * users;
+}
+
+void apply_change(StrategyMatrix& strategies, const SingleChange& change,
+                  UtilityCache* cache) {
+  switch (change.kind) {
+    case SingleChange::Kind::kMove:
+      if (cache) {
+        cache->move_radio(strategies, change.user, change.from, change.to);
+      } else {
+        strategies.move_radio(change.user, change.from, change.to);
+      }
+      break;
+    case SingleChange::Kind::kDeploy:
+      if (cache) {
+        cache->add_radio(strategies, change.user, change.to);
+      } else {
+        strategies.add_radio(change.user, change.to);
+      }
+      break;
+    case SingleChange::Kind::kPark:
+      if (cache) {
+        cache->remove_radio(strategies, change.user, change.from);
+      } else {
+        strategies.remove_radio(change.user, change.from);
+      }
+      break;
+  }
+}
+
+/// The exact undo of a change just applied: experiments that did not pay
+/// off are physically reverted, not rolled back through saved state.
+SingleChange inverse_of(const SingleChange& change) {
+  SingleChange undo = change;
+  switch (change.kind) {
+    case SingleChange::Kind::kMove:
+      undo.from = change.to;
+      undo.to = change.from;
+      break;
+    case SingleChange::Kind::kDeploy:
+      undo.kind = SingleChange::Kind::kPark;
+      undo.from = change.to;
+      break;
+    case SingleChange::Kind::kPark:
+      undo.kind = SingleChange::Kind::kDeploy;
+      undo.to = change.from;
+      break;
+  }
+  return undo;
+}
+
+}  // namespace
+
+DynamicsResult run_trial_error_dynamics(const DynamicsSpec& spec,
+                                        const GameModel& model,
+                                        const StrategyMatrix& start,
+                                        const DynamicsOptions& options,
+                                        Rng& rng) {
+  model.validate(start);
+  const std::size_t users = model.num_users();
+  const std::size_t channels = model.config().num_channels;
+  DynamicsResult result{false, 0, 0, start, {}, 0, 0};
+  StrategyMatrix& state = result.final_state;
+  std::optional<UtilityCache> cache;
+  if (options.use_incremental_cache) cache.emplace(model, state);
+  UtilityCache* cache_ptr = cache ? &*cache : nullptr;
+  const auto current_welfare = [&] {
+    return cache_ptr ? cache_ptr->welfare() : model.raw_welfare(state);
+  };
+  const auto own_utility = [&](UserId user) {
+    return cache_ptr ? cache_ptr->utility(user)
+                     : model.raw_utility(state, user);
+  };
+  if (options.record_welfare_trace) {
+    result.welfare_trace.push_back(current_welfare());
+  }
+
+  const std::size_t budget = activation_budget(options, users);
+  std::vector<ChannelId> occupied;
+  while (result.activations < budget) {
+    if (result.activations % users == 0 &&
+        is_single_move_stable(model, state, options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+    const UserId user = static_cast<UserId>(rng.index(users));
+    ++result.activations;
+    if (!rng.bernoulli(spec.exploration)) continue;  // content: no trial
+
+    // Enumerate the user's feasible experiments by COUNT only — deploys
+    // (one per channel, when a spare radio exists), then per occupied
+    // source channel one park and |C|-1 moves — and draw uniformly. The
+    // learner evaluates nothing before trying.
+    occupied.clear();
+    state.for_each_row_entry(
+        user, [&](ChannelId c, RadioCount) { occupied.push_back(c); });
+    const bool has_spare = state.user_total(user) < model.budget(user);
+    const std::size_t deploys = has_spare ? channels : 0;
+    const std::size_t total = deploys + occupied.size() * channels;
+    if (total == 0) continue;
+    const std::size_t pick = rng.index(total);
+    SingleChange change;
+    change.user = user;
+    if (pick < deploys) {
+      change.kind = SingleChange::Kind::kDeploy;
+      change.to = static_cast<ChannelId>(pick);
+    } else {
+      const std::size_t rest = pick - deploys;
+      const ChannelId source = occupied[rest / channels];
+      const std::size_t option = rest % channels;
+      if (option == 0) {
+        change.kind = SingleChange::Kind::kPark;
+        change.from = source;
+      } else {
+        // Options 1..|C|-1 map to the |C|-1 destinations != source.
+        const std::size_t to = option - 1;
+        change.kind = SingleChange::Kind::kMove;
+        change.from = source;
+        change.to = static_cast<ChannelId>(to < source ? to : to + 1);
+      }
+    }
+
+    const double before = own_utility(user);
+    apply_change(state, change, cache_ptr);
+    if (own_utility(user) > before + options.tolerance) {
+      ++result.improving_steps;
+      if (options.record_welfare_trace) {
+        result.welfare_trace.push_back(current_welfare());
+      }
+    } else {
+      apply_change(state, inverse_of(change), cache_ptr);
+    }
+  }
+  if (cache_ptr) result.reprice_touches = cache_ptr->reprice_touches();
+  result.final_welfare = current_welfare();
+  return result;
+}
+
+}  // namespace mrca

@@ -16,6 +16,7 @@
 #include "core/alloc/utility_cache.h"
 #include "core/analysis/efficiency.h"
 #include "core/analysis/metrics.h"
+#include "core/dynamics/engine.h"
 #include "core/strategy.h"
 #include "engine/thread_pool.h"
 
@@ -61,13 +62,27 @@ RunRecord run_one(const SweepSpec& spec, const SweepSpec::Cell& cell,
   options.order = cell.order;
   options.max_activations = spec.max_activations;
   options.tolerance = spec.tolerance;
+  // Trace-reading metrics (regret) flip the recorder on; the trace is
+  // bookkeeping only, so best_response trajectories and Rng draws are
+  // unchanged by it.
+  options.record_welfare_trace = spec.metrics.needs_welfare_trace();
+  // best_response cells keep drawing from the run's own Rng — the exact
+  // pre-axis stream, so default sweeps stay byte-identical. Every other
+  // engine draws from its own pure derive_dynamics_seed stream.
+  Rng dynamics_rng(
+      derive_dynamics_seed(spec.base_seed, cell.index, replicate));
+  Rng* engine_rng = cell.dynamics.kind == DynamicsSpec::Kind::kBestResponse
+                        ? &rng
+                        : &dynamics_rng;
   const DynamicsResult result =
-      run_response_dynamics(model, start, options, &rng);
+      run_dynamics(cell.dynamics, model, start, options, engine_rng);
 
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   record.converged = result.converged;
   record.activations = static_cast<double>(result.activations);
   record.improving_steps = static_cast<double>(result.improving_steps);
+  record.scan_skips = static_cast<double>(result.scan_skips);
+  record.reprice_touches = static_cast<double>(result.reprice_touches);
   record.welfare = model.welfare(result.final_state);
   const double optimal = model.optimal_welfare();
   // NaN marks "undefined for this run" (the aggregation layer skips the
@@ -371,6 +386,8 @@ void merge_cell_results(CellResult& into, const CellResult& from) {
   into.converged += from.converged;
   into.activations.merge(from.activations);
   into.improving_steps.merge(from.improving_steps);
+  into.scan_skips.merge(from.scan_skips);
+  into.reprice_touches.merge(from.reprice_touches);
   into.welfare.merge(from.welfare);
   into.efficiency.merge(from.efficiency);
   into.anarchy_ratio.merge(from.anarchy_ratio);

@@ -122,6 +122,11 @@ struct RunRecord {
   bool converged = false;
   double activations = 0.0;
   double improving_steps = 0.0;
+  /// Dirty-channel pruning witnesses (DynamicsResult::scan_skips /
+  /// reprice_touches): always-defined counters, 0 for engines or paths
+  /// that run no utility cache.
+  double scan_skips = 0.0;
+  double reprice_touches = 0.0;
   double welfare = 0.0;
   /// NaN when the model's optimum is unknown (weighted models beyond the
   /// one-radio-per-channel regime) — skipped by aggregation.

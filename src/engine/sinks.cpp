@@ -35,6 +35,8 @@ void AggregatingSink::consume(const RunRecord& record) {
   if (record.converged) ++aggregate.converged;
   aggregate.activations.add(record.activations);
   aggregate.improving_steps.add(record.improving_steps);
+  aggregate.scan_skips.add(record.scan_skips);
+  aggregate.reprice_touches.add(record.reprice_touches);
   aggregate.welfare.add(record.welfare);
   // NaN = "undefined for this run" (unknown optimum / zero welfare): skip
   // the sample so means stay honest and count() reports coverage.
@@ -96,12 +98,15 @@ void RecordSink::consume(const RunRecord& record) {
       << ",\"radios\":" << record.cell.radios
       << ",\"rate\":\"" << json_escape(record.cell.rate.name())
       << "\",\"scenario\":\"" << json_escape(record.cell.scenario.name())
+      << "\",\"dynamics\":\"" << json_escape(record.cell.dynamics.name())
       << "\",\"granularity\":\"" << to_string(record.cell.granularity)
       << "\",\"order\":\"" << to_string(record.cell.order)
       << "\",\"start\":\"" << to_string(record.cell.start)
       << "\",\"converged\":" << (record.converged ? "true" : "false")
       << ",\"activations\":" << json_number(record.activations)
       << ",\"improving_steps\":" << json_number(record.improving_steps)
+      << ",\"scan_skips\":" << json_number(record.scan_skips)
+      << ",\"reprice_touches\":" << json_number(record.reprice_touches)
       << ",\"welfare\":" << json_number(record.welfare)
       << ",\"efficiency\":" << json_number(record.efficiency)
       << ",\"anarchy_ratio\":" << json_number(record.anarchy_ratio)

@@ -134,8 +134,8 @@ ActivationOrder parse_activation_order(const std::string& text) {
 
 std::size_t SweepSpec::grid_size() const noexcept {
   return users.size() * channels.size() * radios.size() * rates.size() *
-         scenarios.size() * granularities.size() * orders.size() *
-         starts.size();
+         scenarios.size() * dynamics.size() * granularities.size() *
+         orders.size() * starts.size();
 }
 
 std::vector<SweepSpec::Cell> SweepSpec::expand() const {
@@ -170,21 +170,31 @@ std::vector<SweepSpec::Cell> SweepSpec::expand() const {
                 !scenario.topology.compatible(n)) {
               continue;
             }
-            for (const ResponseGranularity granularity : granularities) {
-              for (const ActivationOrder order : orders) {
-                for (const SweepStart start : starts) {
-                  Cell cell;
-                  cell.users = n;
-                  cell.channels = c;
-                  cell.radios =
-                      scenario.uses_radios_axis() ? k : first_valid_k;
-                  cell.rate = rate;
-                  cell.scenario = scenario;
-                  cell.granularity = granularity;
-                  cell.order = order;
-                  cell.start = start;
-                  cell.index = cells.size();
-                  cells.push_back(cell);
+            for (const DynamicsSpec& dyn : dynamics) {
+              // Learner engines define their own activation and selection
+              // rules, so the granularity/order axes collapse to their
+              // first values for them (the budget-scenario precedent for
+              // the k axis): one cell per (dynamics, start), not a block
+              // of duplicates that differ only in ignored axes.
+              for (std::size_t gi = 0; gi < granularities.size(); ++gi) {
+                if (!dyn.uses_response_axes() && gi != 0) continue;
+                for (std::size_t oi = 0; oi < orders.size(); ++oi) {
+                  if (!dyn.uses_response_axes() && oi != 0) continue;
+                  for (const SweepStart start : starts) {
+                    Cell cell;
+                    cell.users = n;
+                    cell.channels = c;
+                    cell.radios =
+                        scenario.uses_radios_axis() ? k : first_valid_k;
+                    cell.rate = rate;
+                    cell.scenario = scenario;
+                    cell.dynamics = dyn;
+                    cell.granularity = granularities[gi];
+                    cell.order = orders[oi];
+                    cell.start = start;
+                    cell.index = cells.size();
+                    cells.push_back(cell);
+                  }
                 }
               }
             }
@@ -226,6 +236,16 @@ std::uint64_t derive_metric_seed(std::uint64_t base_seed,
   return mix.next();
 }
 
+std::uint64_t derive_dynamics_seed(std::uint64_t base_seed,
+                                   std::size_t cell_index,
+                                   std::size_t replicate) {
+  // A distinct mixing constant keeps the dynamics-engine stream
+  // decorrelated from the run, DES and metric streams.
+  SplitMix64 mix(derive_run_seed(base_seed, cell_index, replicate) ^
+                 0xd6e8feb86659fd93ULL);
+  return mix.next();
+}
+
 std::string SweepSpec::fingerprint() const {
   std::string out;
   const auto list = [&out](const char* axis, const auto& values,
@@ -244,6 +264,8 @@ std::string SweepSpec::fingerprint() const {
   list("rates", rates, [](const RateSpec& rate) { return rate.name(); });
   list("scenarios", scenarios,
        [](const ScenarioSpec& scenario) { return scenario.name(); });
+  list("dynamics", dynamics,
+       [](const DynamicsSpec& dyn) { return dyn.name(); });
   list("granularities", granularities, [](ResponseGranularity granularity) {
     return std::string(to_string(granularity));
   });

@@ -21,6 +21,7 @@
 #include "common/stats.h"
 #include "core/alloc/best_response.h"
 #include "core/analysis/metrics.h"
+#include "core/dynamics/engine.h"
 #include "core/rate_function.h"
 #include "core/types.h"
 #include "engine/scenario.h"
@@ -94,6 +95,13 @@ struct SweepSpec {
   std::vector<RadioCount> radios{1};
   std::vector<RateSpec> rates{RateSpec{}};
   std::vector<ScenarioSpec> scenarios{ScenarioSpec{}};
+  /// Dynamics engines (core/dynamics/engine.h). The default single
+  /// best_response entry expands to exactly the pre-axis grid — same cell
+  /// indices, same seed streams — so existing sweeps stay byte-identical.
+  /// Engines that ignore the response granularity / activation order axes
+  /// collapse them to their first values during expansion (the
+  /// budget-scenario precedent for the k axis).
+  std::vector<DynamicsSpec> dynamics{DynamicsSpec{}};
   std::vector<ResponseGranularity> granularities{
       ResponseGranularity::kBestResponse};
   std::vector<ActivationOrder> orders{ActivationOrder::kRoundRobin};
@@ -121,6 +129,7 @@ struct SweepSpec {
     RadioCount radios = 0;
     RateSpec rate;
     ScenarioSpec scenario;
+    DynamicsSpec dynamics;
     ResponseGranularity granularity = ResponseGranularity::kBestResponse;
     ActivationOrder order = ActivationOrder::kRoundRobin;
     SweepStart start = SweepStart::kRandomFull;
@@ -155,6 +164,13 @@ struct CellResult {
   std::size_t converged = 0;
   RunningStats activations;
   RunningStats improving_steps;
+  // Dirty-channel pruning witnesses (PR 8), surfaced per cell so pruning
+  // efficacy shows up in farm output, not just bench_scale. Always-defined
+  // counters: 0 for engines/paths that run no cache.
+  /// Activations resolved as proven O(1) no-ops per run.
+  RunningStats scan_skips;
+  /// Per-user utility updates performed by cache repricing per run.
+  RunningStats reprice_touches;
   RunningStats welfare;
   /// welfare / optimal_welfare in [0, 1].
   RunningStats efficiency;
@@ -247,6 +263,15 @@ std::uint64_t derive_sim_seed(std::uint64_t base_seed, std::size_t cell_index,
 std::uint64_t derive_metric_seed(std::uint64_t base_seed,
                                  std::size_t cell_index,
                                  std::size_t replicate);
+
+/// Deterministic seed for a run's dynamics engine: a pure function of
+/// (base_seed, cell, replicate), decorrelated from the run, DES and metric
+/// streams. best_response cells keep drawing from the run's own Rng (the
+/// pre-axis stream, bit-identical); every other engine draws from an Rng
+/// seeded with this value.
+std::uint64_t derive_dynamics_seed(std::uint64_t base_seed,
+                                   std::size_t cell_index,
+                                   std::size_t replicate);
 
 /// Expands the spec and runs every (cell, replicate) task across the pool.
 /// A thin wrapper over the streaming session API (engine/session.h): build

@@ -93,8 +93,10 @@ double skippable_mean(const RunningStats& stats) {
 
 std::string sweep_to_csv(const SweepResult& result) {
   std::ostringstream out;
-  out << "cell,users,channels,radios,rate,scenario,granularity,order,start,"
+  out << "cell,users,channels,radios,rate,scenario,dynamics,granularity,"
+         "order,start,"
          "runs,converged,activations_mean,activations_stddev,improving_mean,"
+         "scan_skips_mean,reprice_touches_mean,"
          "welfare_mean,welfare_min,welfare_max,efficiency_mean,"
          "anarchy_ratio_mean,fairness_mean,load_imbalance_mean,"
          "deployed_mean,per_radio_spread_mean,budget_fairness_mean,"
@@ -111,12 +113,15 @@ std::string sweep_to_csv(const SweepResult& result) {
     out << cell.cell.index << ',' << cell.cell.users << ','
         << cell.cell.channels << ',' << cell.cell.radios << ','
         << cell.cell.rate.name() << ',' << cell.cell.scenario.name() << ','
+        << cell.cell.dynamics.name() << ','
         << to_string(cell.cell.granularity)
         << ',' << to_string(cell.cell.order) << ','
         << to_string(cell.cell.start) << ',' << cell.runs << ','
         << cell.converged << ',' << full_precision(cell.activations.mean())
         << ',' << full_precision(cell.activations.stddev()) << ','
         << full_precision(cell.improving_steps.mean()) << ','
+        << full_precision(cell.scan_skips.mean()) << ','
+        << full_precision(cell.reprice_touches.mean()) << ','
         << full_precision(cell.welfare.mean()) << ','
         << full_precision(cell.welfare.empty() ? 0.0 : cell.welfare.min())
         << ','
@@ -172,7 +177,8 @@ std::string sweep_to_json(const SweepResult& result) {
         << ",\"channels\":" << cell.cell.channels
         << ",\"radios\":" << cell.cell.radios << ",\"rate\":\""
         << json_escape(cell.cell.rate.name()) << "\",\"scenario\":\""
-        << json_escape(cell.cell.scenario.name()) << "\",\"granularity\":\""
+        << json_escape(cell.cell.scenario.name()) << "\",\"dynamics\":\""
+        << json_escape(cell.cell.dynamics.name()) << "\",\"granularity\":\""
         << to_string(cell.cell.granularity) << "\",\"order\":\""
         << to_string(cell.cell.order) << "\",\"start\":\""
         << to_string(cell.cell.start) << "\",\"runs\":" << cell.runs
@@ -180,6 +186,10 @@ std::string sweep_to_json(const SweepResult& result) {
     append_stats_json(out, "activations", cell.activations);
     out << ',';
     append_stats_json(out, "improving_steps", cell.improving_steps);
+    out << ',';
+    append_stats_json(out, "scan_skips", cell.scan_skips);
+    out << ',';
+    append_stats_json(out, "reprice_touches", cell.reprice_touches);
     out << ',';
     append_stats_json(out, "welfare", cell.welfare);
     out << ',';
@@ -229,16 +239,23 @@ std::string sweep_to_table(const SweepResult& result) {
   bool has_sim = false;
   bool has_scenario = false;
   bool has_topology = false;
+  bool has_dynamics = false;
   for (const CellResult& cell : result.cells) {
     has_sim |= cell.sim_runs > 0;
     has_scenario |= cell.cell.scenario.kind != ScenarioSpec::Kind::kBase;
     has_topology |=
         cell.cell.scenario.kind == ScenarioSpec::Kind::kTopology;
+    has_dynamics |=
+        cell.cell.dynamics.kind != DynamicsSpec::Kind::kBestResponse;
   }
 
   std::vector<std::string> header = {
       "N", "C", "k", "rate", "dyn", "order", "start", "conv",
       "activations", "welfare", "efficiency", "PoA", "fairness"};
+  // The engine column appears only when a non-default engine is present
+  // (like the scenario column), so plain best-response tables are
+  // unchanged.
+  if (has_dynamics) header.insert(header.begin() + 4, "engine");
   if (has_scenario) {
     header.insert(header.begin() + 4, "scenario");
     header.insert(header.end(), {"deployed", "spread", "bfair"});
@@ -268,6 +285,7 @@ std::string sweep_to_table(const SweepResult& result) {
         cell.anarchy_ratio.empty() ? "-"
                                    : Table::fmt(cell.anarchy_ratio.mean(), 4),
         Table::fmt(cell.fairness.mean(), 4)};
+    if (has_dynamics) row.insert(row.begin() + 4, cell.cell.dynamics.name());
     if (has_scenario) {
       row.insert(row.begin() + 4, cell.cell.scenario.name());
       row.push_back(Table::fmt(cell.deployed.mean(), 2));
@@ -372,6 +390,8 @@ SweepResult sweep_from_json(const std::string& text) {
     cell.cell.rate = RateSpec::parse(as_string(cell_json.at("rate"), "rate"));
     cell.cell.scenario =
         ScenarioSpec::parse(as_string(cell_json.at("scenario"), "scenario"));
+    cell.cell.dynamics =
+        DynamicsSpec::parse(as_string(cell_json.at("dynamics"), "dynamics"));
     cell.cell.granularity = parse_response_granularity(
         as_string(cell_json.at("granularity"), "granularity"));
     cell.cell.order =
@@ -384,6 +404,10 @@ SweepResult sweep_from_json(const std::string& text) {
                                        "activations");
     cell.improving_steps =
         stats_from_json(cell_json.at("improving_steps"), "improving_steps");
+    cell.scan_skips =
+        stats_from_json(cell_json.at("scan_skips"), "scan_skips");
+    cell.reprice_touches =
+        stats_from_json(cell_json.at("reprice_touches"), "reprice_touches");
     cell.welfare = stats_from_json(cell_json.at("welfare"), "welfare");
     cell.efficiency =
         stats_from_json(cell_json.at("efficiency"), "efficiency");

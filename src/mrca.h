@@ -26,6 +26,7 @@
 #include "core/analysis/metrics.h"      // IWYU pragma: export
 #include "core/analysis/nash.h"         // IWYU pragma: export
 #include "core/analysis/pareto.h"       // IWYU pragma: export
+#include "core/dynamics/engine.h"       // IWYU pragma: export
 #include "core/ext/energy.h"            // IWYU pragma: export
 #include "core/ext/heterogeneous.h"     // IWYU pragma: export
 #include "core/ext/variable_radios.h"   // IWYU pragma: export

@@ -213,6 +213,59 @@ TEST(BuiltinMetrics, DistributedIsAPureFunctionOfTheSeed) {
   EXPECT_GE(first[1], 1.0);  // at least the terminating round
 }
 
+TEST(BuiltinMetrics, RegretIsTheAreaBelowFinalWelfareOrNaNWithoutATrace) {
+  const GameModel model(Game(GameConfig(4, 3, 2), decaying_rate()));
+  FinishedRun run(model);
+  const MetricSet set = MetricSet::parse_list("regret");
+  EXPECT_TRUE(set.needs_welfare_trace());
+
+  // No recorded trace: honest NaN, never a fabricated zero.
+  run.dynamics.welfare_trace.clear();
+  EXPECT_TRUE(std::isnan(set.compute(run.context(model))[0]));
+
+  // Hand-built trace against the closed-form area: final welfare 5, dips
+  // of 2 and 1 below it, one sample above final contributing nothing.
+  run.dynamics.welfare_trace = {3.0, 4.0, 6.0, 5.0};
+  EXPECT_DOUBLE_EQ(set.compute(run.context(model))[0], 2.0 + 1.0 + 0.0);
+
+  // Play that never sat below where it ended has zero regret.
+  run.dynamics.welfare_trace = {9.0, 8.0, 7.0};
+  EXPECT_DOUBLE_EQ(set.compute(run.context(model))[0], 0.0);
+}
+
+TEST(BuiltinMetrics, OccupancyEntropyMatchesClosedFormDistributions) {
+  const GameModel model(Game(GameConfig(4, 4, 1), decaying_rate()));
+  FinishedRun run(model);
+  const MetricSet set = MetricSet::parse_list("occupancy_entropy");
+  EXPECT_FALSE(set.needs_welfare_trace());
+
+  // Perfectly even spread over |C| channels: ln(|C|) nats.
+  run.dynamics.final_state = StrategyMatrix::from_rows(
+      model.config(), {{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0},
+                       {0, 0, 0, 1}});
+  EXPECT_DOUBLE_EQ(set.compute(run.context(model))[0], std::log(4.0));
+
+  // Everyone crowding one channel: a point mass, zero entropy.
+  run.dynamics.final_state = StrategyMatrix::from_rows(
+      model.config(), {{1, 0, 0, 0}, {1, 0, 0, 0}, {1, 0, 0, 0},
+                       {1, 0, 0, 0}});
+  EXPECT_DOUBLE_EQ(set.compute(run.context(model))[0], 0.0);
+
+  // A 3/4 vs 1/4 split: the two-point Shannon formula.
+  run.dynamics.final_state = StrategyMatrix::from_rows(
+      model.config(), {{1, 0, 0, 0}, {1, 0, 0, 0}, {1, 0, 0, 0},
+                       {0, 1, 0, 0}});
+  const double p = 0.75;
+  EXPECT_DOUBLE_EQ(set.compute(run.context(model))[0],
+                   -p * std::log(p) - (1 - p) * std::log(1 - p));
+
+  // Nothing deployed: no distribution to score — NaN, not zero.
+  run.dynamics.final_state = StrategyMatrix::from_rows(
+      model.config(), {{0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0},
+                       {0, 0, 0, 0}});
+  EXPECT_TRUE(std::isnan(set.compute(run.context(model))[0]));
+}
+
 // ---------------------------------------------------------------- sweep --
 
 SweepSpec metric_sweep_spec() {

@@ -22,8 +22,13 @@
 //   --scenario base|energy=<c>|het=<s:..>|budgets=<k:..>|weights=<w:..>
 //              |topology=<t>                    scenario axis (',' lists
 //                                               values, ';' separates kinds)
+//   --dynamics best_response|log_linear[:<T0>[:<Tend>]]
+//              |trial_error[:<eps>]|distributed[:<p>]
+//                                               dynamics-engine axis
+//                                               (comma list)
 //   --metrics nash,single_move,theorem1,poa,welfare_eff,pareto,fairness,
-//             convergence,distributed           per-run analysis columns
+//             convergence,distributed,regret,occupancy_entropy
+//                                               per-run analysis columns
 //   --granularity best|single|random-move       comma list
 //   --order rr|random                           comma list
 //   --start empty|random|partial|ne             comma list
@@ -110,6 +115,7 @@ struct CliOptions {
   std::string radios_list = "1,2";
   std::string rates_list = "tdma";
   std::string scenario_list = "base";
+  std::string dynamics_list = "best_response";
   std::string granularity_list = "best";
   std::string order_list = "rr";
   std::string start_list = "random";
@@ -149,8 +155,8 @@ struct CliOptions {
       "  rates    [--max-k K]\n"
       "  simulate N C k [--rate R] [--seed S] [--seconds T]\n"
       "  sweep    [--users L] [--channels L] [--radios L] [--rates L]\n"
-      "           [--scenario S] [--metrics M] [--granularity L]\n"
-      "           [--order L] [--start L]\n"
+      "           [--scenario S] [--dynamics D] [--metrics M]\n"
+      "           [--granularity L] [--order L] [--start L]\n"
       "           [--replicates N] [--seed S] [--threads N]\n"
       "           [--max-activations N] [--format table|csv|json]\n"
       "           [--sim dcf|tdma] [--sim-seconds T] [--sim-replicates N]\n"
@@ -179,9 +185,17 @@ struct CliOptions {
       "                  |           edges:<a>-<b>:..>\n"
       "                  (';' separates kinds, e.g.\n"
       "                  --scenario \"energy=0.1,0.3;het=2:1;topology=ring:2\")\n"
+      "dynamics (sweep):   comma list of best_response\n"
+      "                  | log_linear[:<T0>[:<Tend>]] (Glauber play over\n"
+      "                  the potential, geometric annealing T0 -> Tend)\n"
+      "                  | trial_error[:<eps>] (payoff-based learning,\n"
+      "                  exploration probability eps)\n"
+      "                  | distributed[:<p>] (the synchronous no-\n"
+      "                  coordinator protocol, activation probability p)\n"
       "metrics (sweep):    comma list of nash | single_move | theorem1\n"
       "                  | poa | welfare_eff | pareto | fairness\n"
-      "                  | convergence | distributed, evaluated per run and\n"
+      "                  | convergence | distributed | regret\n"
+      "                  | occupancy_entropy, evaluated per run and\n"
       "                  emitted as extra columns in every format\n";
   std::exit(error.empty() ? 0 : 2);
 }
@@ -280,6 +294,8 @@ CliOptions parse_options(int argc, char** argv, int first) {
         options.scenario_list = value;
         options.scenario_given = true;
       }
+    } else if (arg == "--dynamics") {
+      options.dynamics_list = need_value(arg);
     } else if (arg == "--metrics") {
       options.metrics_list = need_value(arg);
     } else if (arg == "--granularity") {
@@ -543,6 +559,11 @@ engine::SweepSpec build_sweep_spec(const CliOptions& options) {
     spec.scenarios = engine::ScenarioSpec::parse_list(options.scenario_list);
   } catch (const std::invalid_argument& error) {
     usage(std::string(error.what()) + " for --scenario");
+  }
+  try {
+    spec.dynamics = DynamicsSpec::parse_list(options.dynamics_list);
+  } catch (const std::invalid_argument& error) {
+    usage(std::string(error.what()) + " for --dynamics");
   }
   if (!options.metrics_list.empty()) {
     try {
